@@ -1,0 +1,48 @@
+# PrivIM build/test/benchmark entry points. Everything is stdlib-only Go;
+# these targets just bundle the common invocations.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench suite suite-paper examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/privim/ ./internal/diffusion/ ./internal/expt/
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Laptop-scale reproduction of every table and figure (~minutes).
+suite:
+	$(GO) run ./cmd/imbench -repeats 2 all
+
+# Paper-faithful settings: full-size datasets, k=50, 5 repeats (hours).
+suite-paper:
+	$(GO) run ./cmd/imbench -paper all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/viralmarketing
+	$(GO) run ./examples/rumorblocking
+	$(GO) run ./examples/modelzoo
+	$(GO) run ./examples/maxcover
+	$(GO) run ./examples/ldpseeding
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=60s -run FuzzReadEdgeList ./internal/graph/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,186 @@
+// Command imbench runs the paper's experiment suite and prints the table
+// or figure data it reproduces. Each subcommand regenerates one artifact
+// of the evaluation section; "all" runs the whole suite.
+//
+// Usage:
+//
+//	imbench table1
+//	imbench -scale 0.05 -repeats 3 fig5
+//	imbench -datasets email,lastfm fig9
+//	imbench all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"privim/internal/dataset"
+	"privim/internal/expt"
+)
+
+var commands = []string{
+	"table1", "table2", "table3",
+	"fig5", "fig5-friendster", "fig6", "fig7", "fig8", "fig9", "fig13", "fig14", "fig15",
+	"ablation-mu", "ablation-bes", "ablation-steps", "ablation-accountant", "ldp", "solvers",
+	"audit",
+	"all",
+}
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 0, "dataset scale fraction (default: quick preset)")
+		repeats  = flag.Int("repeats", 0, "repetitions per measurement")
+		k        = flag.Int("k", 0, "seed set size")
+		iters    = flag.Int("iters", 0, "training iterations")
+		seed     = flag.Int64("seed", 1, "master seed")
+		paper    = flag.Bool("paper", false, "paper-faithful settings (full scale, slow)")
+		datasets = flag.String("datasets", "", "comma-separated preset subset")
+		jsonPath = flag.String("json", "", "with 'all': also write machine-readable results to this JSON file")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: imbench [flags] <command>\ncommands: %s\nflags:\n", strings.Join(commands, " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+
+	s := expt.Quick()
+	if *paper {
+		s = expt.Paper()
+	}
+	if *scale > 0 {
+		s.Scale = *scale
+	}
+	if *repeats > 0 {
+		s.Repeats = *repeats
+	}
+	if *k > 0 {
+		s.SeedSetSize = *k
+	}
+	if *iters > 0 {
+		s.Iterations = *iters
+	}
+	s.Seed = *seed
+	if *datasets != "" {
+		s.Datasets = nil
+		for _, name := range strings.Split(*datasets, ",") {
+			s.Datasets = append(s.Datasets, dataset.Preset(strings.TrimSpace(name)))
+		}
+	}
+
+	if err := run(cmd, s, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "imbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, s expt.Settings, jsonPath string) error {
+	w := os.Stdout
+	switch cmd {
+	case "table1":
+		_, err := expt.RunTableI(s, w)
+		return err
+	case "table2":
+		_, err := expt.RunTableII(s, w)
+		return err
+	case "table3":
+		_, err := expt.RunTableIII(s, w)
+		return err
+	case "fig5":
+		_, err := expt.RunFig5(s, w)
+		return err
+	case "fig5-friendster":
+		_, err := expt.RunFig5Friendster(s, 4, 400, w)
+		return err
+	case "fig6":
+		_, err := expt.RunFig6(s, nil, nil, w)
+		return err
+	case "fig7":
+		_, err := expt.RunFig7(s, nil, w)
+		return err
+	case "fig8":
+		_, err := expt.RunFig8(s, 3, 0, nil, w)
+		return err
+	case "fig9":
+		_, err := expt.RunFig9(s, w)
+		return err
+	case "fig13":
+		_, err := expt.RunFig13(s, nil, w)
+		return err
+	case "fig14":
+		// Appendix J: the HepPh panel of the spread-vs-epsilon sweep.
+		s.Datasets = []dataset.Preset{dataset.HepPh}
+		_, err := expt.RunFig5(s, w)
+		return err
+	case "fig15":
+		for _, eps := range []float64{1, 6} {
+			if _, err := expt.RunFig8(s, eps, 0, nil, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "ablation-mu":
+		_, err := expt.RunAblationDecay(s, nil, w)
+		return err
+	case "ablation-bes":
+		_, err := expt.RunAblationBESDivisor(s, nil, w)
+		return err
+	case "ablation-steps":
+		_, err := expt.RunAblationDiffusionSteps(s, nil, w)
+		return err
+	case "ablation-accountant":
+		_, err := expt.RunAblationAccountant(s, w)
+		return err
+	case "ldp":
+		_, err := expt.RunLDPComparison(s, w)
+		return err
+	case "solvers":
+		_, err := expt.RunSolverComparison(s, w)
+		return err
+	case "audit":
+		return runAudit(s, w)
+	case "all":
+		if jsonPath != "" {
+			// Assembled run: one pass that also produces the JSON artifact,
+			// plus the runners RunAll doesn't cover.
+			res, err := expt.RunAll(s, w)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := res.WriteJSON(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\nJSON results written to %s\n", jsonPath)
+			for _, c := range []string{"fig5-friendster", "fig15", "ablation-mu", "ablation-bes", "ablation-steps", "ablation-accountant", "ldp", "solvers", "audit"} {
+				fmt.Fprintf(w, "\n===== %s =====\n", c)
+				if err := run(c, s, ""); err != nil {
+					return fmt.Errorf("%s: %w", c, err)
+				}
+			}
+			return nil
+		}
+		for _, c := range commands {
+			if c == "all" {
+				continue
+			}
+			fmt.Fprintf(w, "\n===== %s =====\n", c)
+			if err := run(c, s, ""); err != nil {
+				return fmt.Errorf("%s: %w", c, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want one of %s)", cmd, strings.Join(commands, " "))
+	}
+}

@@ -1,0 +1,64 @@
+// LDP seeding: what if there is no trusted curator at all? Each user
+// perturbs their own follower list with ε-randomized response before it
+// leaves their device, and the campaign server seeds by debiased noisy
+// degree. This example contrasts the three trust models the paper spans:
+// no privacy (degree heuristic / CELF), central DP (PrivIM*, a trusted
+// curator adds calibrated noise during training), and local DP (the §VII
+// future-work setting, implemented in internal/ldp).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privim/internal/dataset"
+	"privim/internal/diffusion"
+	"privim/internal/im"
+	"privim/internal/ldp"
+	"privim/internal/privim"
+)
+
+func main() {
+	ds, err := dataset.Generate(dataset.LastFM, dataset.Options{
+		Scale:         0.08, // ≈600 users
+		Seed:          17,
+		InfluenceProb: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := ds.TrainSubgraph().G
+	test := ds.TestSubgraph().G
+	const k = 10
+
+	model := &diffusion.IC{G: test, MaxSteps: 1}
+	celf := &im.CELF{Model: model, Rounds: 1, Seed: 17, NumNodes: test.NumNodes()}
+	ref := diffusion.Estimate(model, celf.Select(k), 1, 17)
+	degSpread := diffusion.Estimate(model, (&im.Degree{G: test}).Select(k), 1, 17)
+	fmt.Printf("network: |V|=%d  CELF reaches %.0f, plain degree heuristic %.0f\n\n",
+		test.NumNodes(), ref, degSpread)
+
+	fmt.Printf("%8s %16s %16s %22s\n", "epsilon", "central (PrivIM*)", "local (RR deg.)", "degree-estimate error")
+	for _, eps := range []float64{0.5, 1, 2, 4} {
+		res, err := privim.Train(train, privim.Config{
+			Mode: privim.ModeDual, Epsilon: eps, Iterations: 40, Seed: 17,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		centralSpread := diffusion.Estimate(model, res.SelectSeeds(test, k), 1, 17)
+
+		seeder := &ldp.DegreeSeeder{G: test, Epsilon: eps, Seed: 17}
+		localSpread := diffusion.Estimate(model, seeder.Select(k), 1, 17)
+
+		fmt.Printf("%8.1f %15.1f%% %15.1f%% %19.1f deg\n",
+			eps,
+			im.CoverageRatio(centralSpread, ref),
+			im.CoverageRatio(localSpread, ref),
+			ldp.ExpectedDegreeError(test.NumNodes(), eps))
+	}
+	fmt.Println("\nCentral DP holds its utility down to small ε because the curator")
+	fmt.Println("noises only gradients; local RR must drown each user's whole")
+	fmt.Println("neighbor list, so its degree estimates (±error above) and seed")
+	fmt.Println("quality collapse once ε is small — the price of removing trust.")
+}

@@ -1,0 +1,67 @@
+// Viral marketing: a company wants to gift products to influential users
+// so word-of-mouth maximizes adoption, but the social graph is sensitive
+// user data. This example sweeps the privacy budget ε to show the
+// privacy-utility trade-off of PrivIM* against the naive PrivIM pipeline —
+// the core result of the paper's Figure 5 — on a Gowalla-shaped
+// location-based social network with weighted-cascade probabilities.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privim/internal/dataset"
+	"privim/internal/diffusion"
+	"privim/internal/graph"
+	"privim/internal/im"
+	"privim/internal/privim"
+)
+
+func main() {
+	// Weighted cascade (w(u,v) = 1/indegree(v)) models that busy users are
+	// harder to influence; InfluenceProb 0 selects it.
+	ds, err := dataset.Generate(dataset.Gowalla, dataset.Options{
+		Scale: 0.004, // ≈780 nodes
+		Seed:  7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := ds.TrainSubgraph().G
+	test := ds.TestSubgraph().G
+
+	const k = 8
+	// Multi-step IC: adoption cascades for up to 3 rounds.
+	model := &diffusion.IC{G: test, MaxSteps: 3}
+	const mcRounds = 200
+
+	celf := &im.CELF{Model: model, Rounds: 50, Seed: 7, NumNodes: test.NumNodes()}
+	celfSpread := diffusion.Estimate(model, celf.Select(k), mcRounds, 7)
+	fmt.Printf("campaign graph: |V|=%d  CELF (no privacy) reaches %.1f users\n\n", test.NumNodes(), celfSpread)
+
+	fmt.Printf("%8s %12s %12s %14s\n", "epsilon", "PrivIM*", "PrivIM", "PrivIM* cov.")
+	for _, eps := range []float64{1, 2, 4, 6} {
+		spreadDual := campaign(train, test, privim.ModeDual, eps, k, model, mcRounds)
+		spreadNaive := campaign(train, test, privim.ModeNaive, eps, k, model, mcRounds)
+		fmt.Printf("%8.0f %12.1f %12.1f %13.1f%%\n",
+			eps, spreadDual, spreadNaive, im.CoverageRatio(spreadDual, celfSpread))
+	}
+	fmt.Println("\nHigher ε (weaker privacy) buys adoption; PrivIM*'s dual-stage")
+	fmt.Println("sampling keeps the gap to the non-private optimum small even at ε=1.")
+}
+
+// campaign trains one private model and measures its campaign reach.
+func campaign(train, test *graph.Graph, mode privim.Mode, eps float64, k int, model diffusion.Model, rounds int) float64 {
+	res, err := privim.Train(train, privim.Config{
+		Mode:       mode,
+		Epsilon:    eps,
+		Iterations: 30,
+		LossSteps:  2,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seeds := res.SelectSeeds(test, k)
+	return diffusion.Estimate(model, seeds, rounds, 7)
+}

@@ -1,0 +1,3 @@
+module privim
+
+go 1.22

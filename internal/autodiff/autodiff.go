@@ -1,0 +1,371 @@
+// Package autodiff implements reverse-mode automatic differentiation over
+// dense matrices, providing exactly the operator set needed to express
+// message-passing GNNs: dense GEMM, sparse-adjacency multiplication, row
+// gather/scatter, segment softmax (attention over edge lists), elementwise
+// nonlinearities, and reductions.
+//
+// Differentiation is tape-based: every operation appends a node to a Tape,
+// and Backward walks the tape in reverse creation order (a valid topological
+// order by construction). Gradients are exact; the test suite verifies every
+// operator against central finite differences.
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"privim/internal/tensor"
+)
+
+// Tape records the computation graph for one forward pass. Tapes are cheap;
+// create a fresh one per training example and discard it after Backward.
+// Nodes are allocated from an internal arena so a GNN forward/backward
+// pass costs a handful of allocations instead of one per operation.
+type Tape struct {
+	nodes []*Node
+	arena []Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Len returns the number of recorded nodes (useful in tests).
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// alloc hands out a zeroed node from the arena, growing it chunk-wise.
+func (t *Tape) alloc() *Node {
+	if len(t.arena) == 0 {
+		t.arena = make([]Node, 64)
+	}
+	n := &t.arena[0]
+	t.arena = t.arena[1:]
+	return n
+}
+
+// Node is one value in the computation graph.
+type Node struct {
+	// Value holds the forward result. Grad accumulates ∂output/∂Value during
+	// Backward; it is nil until the node participates in a backward pass.
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+
+	tape     *Tape
+	backward func()
+	isLeaf   bool
+}
+
+func (t *Tape) add(val *tensor.Matrix, back func()) *Node {
+	n := t.alloc()
+	n.Value = val
+	n.tape = t
+	n.backward = back
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Leaf introduces an input matrix onto the tape. Its gradient is available
+// after Backward (used both for parameters and, in sensitivity analyses,
+// inputs). The matrix is used by reference: callers must not mutate it while
+// the tape is live.
+func (t *Tape) Leaf(m *tensor.Matrix) *Node {
+	n := t.add(m, nil)
+	n.isLeaf = true
+	return n
+}
+
+// Tape returns the tape the node is recorded on.
+func (n *Node) Tape() *Tape { return n.tape }
+
+// grad returns the node's gradient accumulator, allocating on first use.
+func (n *Node) grad() *tensor.Matrix {
+	if n.Grad == nil {
+		n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+	}
+	return n.Grad
+}
+
+// Backward runs reverse-mode differentiation from out, which must be a 1×1
+// scalar node on this tape. Gradients accumulate in each node's Grad field.
+func (t *Tape) Backward(out *Node) {
+	if out.tape != t {
+		panic("autodiff: Backward on node from another tape")
+	}
+	if out.Value.Rows != 1 || out.Value.Cols != 1 {
+		panic(fmt.Sprintf("autodiff: Backward requires scalar output, got %dx%d", out.Value.Rows, out.Value.Cols))
+	}
+	out.grad().Data[0] = 1
+	// Reverse creation order is a topological order of the DAG.
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.Grad != nil && n.backward != nil {
+			n.backward()
+		}
+	}
+}
+
+func sameTape(op string, nodes ...*Node) *Tape {
+	t := nodes[0].tape
+	for _, n := range nodes[1:] {
+		if n.tape != t {
+			panic("autodiff: " + op + " mixes tapes")
+		}
+	}
+	return t
+}
+
+// MatMul returns a×b.
+func MatMul(a, b *Node) *Node {
+	t := sameTape("MatMul", a, b)
+	out := t.add(tensor.MatMul(a.Value, b.Value), nil)
+	out.backward = func() {
+		// dA += dOut · Bᵀ ; dB += Aᵀ · dOut
+		tensor.MatMulInto(a.grad(), out.Grad, tensor.Transpose(b.Value), true)
+		tensor.MatMulInto(b.grad(), tensor.Transpose(a.Value), out.Grad, true)
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Node) *Node {
+	t := sameTape("Add", a, b)
+	out := t.add(tensor.Add(a.Value, b.Value), nil)
+	out.backward = func() {
+		tensor.AXPY(a.grad(), 1, out.Grad)
+		tensor.AXPY(b.grad(), 1, out.Grad)
+	}
+	return out
+}
+
+// Sub returns a−b elementwise.
+func Sub(a, b *Node) *Node {
+	t := sameTape("Sub", a, b)
+	out := t.add(tensor.Sub(a.Value, b.Value), nil)
+	out.backward = func() {
+		tensor.AXPY(a.grad(), 1, out.Grad)
+		tensor.AXPY(b.grad(), -1, out.Grad)
+	}
+	return out
+}
+
+// Mul returns the Hadamard product a∘b.
+func Mul(a, b *Node) *Node {
+	t := sameTape("Mul", a, b)
+	out := t.add(tensor.Mul(a.Value, b.Value), nil)
+	out.backward = func() {
+		ga, gb := a.grad(), b.grad()
+		for i, g := range out.Grad.Data {
+			ga.Data[i] += g * b.Value.Data[i]
+			gb.Data[i] += g * a.Value.Data[i]
+		}
+	}
+	return out
+}
+
+// Scale returns s·a for a constant scalar s.
+func Scale(a *Node, s float64) *Node {
+	out := a.tape.add(tensor.Scale(a.Value, s), nil)
+	out.backward = func() { tensor.AXPY(a.grad(), s, out.Grad) }
+	return out
+}
+
+// AddScalar returns a+s elementwise for a constant scalar s.
+func AddScalar(a *Node, s float64) *Node {
+	out := a.tape.add(tensor.Apply(a.Value, func(v float64) float64 { return v + s }), nil)
+	out.backward = func() { tensor.AXPY(a.grad(), 1, out.Grad) }
+	return out
+}
+
+// OneMinus returns 1−a elementwise (convenience for the IM loss's survival
+// probabilities).
+func OneMinus(a *Node) *Node {
+	out := a.tape.add(tensor.Apply(a.Value, func(v float64) float64 { return 1 - v }), nil)
+	out.backward = func() { tensor.AXPY(a.grad(), -1, out.Grad) }
+	return out
+}
+
+// AddRowBroadcast returns a + bias where bias is 1×cols and is added to
+// every row of a (the standard linear-layer bias).
+func AddRowBroadcast(a, bias *Node) *Node {
+	t := sameTape("AddRowBroadcast", a, bias)
+	if bias.Value.Rows != 1 || bias.Value.Cols != a.Value.Cols {
+		panic(fmt.Sprintf("autodiff: AddRowBroadcast bias %dx%d vs a %dx%d",
+			bias.Value.Rows, bias.Value.Cols, a.Value.Rows, a.Value.Cols))
+	}
+	val := a.Value.Clone()
+	for i := 0; i < val.Rows; i++ {
+		row := val.Row(i)
+		for j, b := range bias.Value.Data {
+			row[j] += b
+		}
+	}
+	out := t.add(val, nil)
+	out.backward = func() {
+		tensor.AXPY(a.grad(), 1, out.Grad)
+		gb := bias.grad()
+		for i := 0; i < out.Grad.Rows; i++ {
+			row := out.Grad.Row(i)
+			for j, g := range row {
+				gb.Data[j] += g
+			}
+		}
+	}
+	return out
+}
+
+// ReLU returns max(0, a) elementwise.
+func ReLU(a *Node) *Node {
+	out := a.tape.add(tensor.Apply(a.Value, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	}), nil)
+	out.backward = func() {
+		ga := a.grad()
+		for i, g := range out.Grad.Data {
+			if a.Value.Data[i] > 0 {
+				ga.Data[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// LeakyReLU returns a for a>0 and alpha·a otherwise.
+func LeakyReLU(a *Node, alpha float64) *Node {
+	out := a.tape.add(tensor.Apply(a.Value, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return alpha * v
+	}), nil)
+	out.backward = func() {
+		ga := a.grad()
+		for i, g := range out.Grad.Data {
+			if a.Value.Data[i] > 0 {
+				ga.Data[i] += g
+			} else {
+				ga.Data[i] += alpha * g
+			}
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+e^{−a}) elementwise.
+func Sigmoid(a *Node) *Node {
+	out := a.tape.add(tensor.Apply(a.Value, sigmoid), nil)
+	out.backward = func() {
+		ga := a.grad()
+		for i, g := range out.Grad.Data {
+			s := out.Value.Data[i]
+			ga.Data[i] += g * s * (1 - s)
+		}
+	}
+	return out
+}
+
+func sigmoid(v float64) float64 {
+	if v >= 0 {
+		return 1 / (1 + math.Exp(-v))
+	}
+	e := math.Exp(v)
+	return e / (1 + e)
+}
+
+// Exp returns e^a elementwise.
+func Exp(a *Node) *Node {
+	out := a.tape.add(tensor.Apply(a.Value, math.Exp), nil)
+	out.backward = func() {
+		ga := a.grad()
+		for i, g := range out.Grad.Data {
+			ga.Data[i] += g * out.Value.Data[i]
+		}
+	}
+	return out
+}
+
+// Log returns ln(max(a, floor)) elementwise; the floor (1e-12) keeps the
+// gradient finite when probabilities touch 0.
+func Log(a *Node) *Node {
+	const floor = 1e-12
+	clamped := tensor.Apply(a.Value, func(v float64) float64 {
+		if v < floor {
+			return floor
+		}
+		return v
+	})
+	out := a.tape.add(tensor.Apply(clamped, math.Log), nil)
+	out.backward = func() {
+		ga := a.grad()
+		for i, g := range out.Grad.Data {
+			if a.Value.Data[i] >= floor {
+				ga.Data[i] += g / a.Value.Data[i]
+			}
+			// Below the floor the function is constant: zero gradient.
+		}
+	}
+	return out
+}
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(a *Node) *Node {
+	out := a.tape.add(tensor.Apply(a.Value, math.Tanh), nil)
+	out.backward = func() {
+		ga := a.grad()
+		for i, g := range out.Grad.Data {
+			th := out.Value.Data[i]
+			ga.Data[i] += g * (1 - th*th)
+		}
+	}
+	return out
+}
+
+// Sum reduces a to a 1×1 scalar Σa.
+func Sum(a *Node) *Node {
+	val := tensor.New(1, 1)
+	val.Data[0] = a.Value.Sum()
+	out := a.tape.add(val, nil)
+	out.backward = func() {
+		g := out.Grad.Data[0]
+		ga := a.grad()
+		for i := range ga.Data {
+			ga.Data[i] += g
+		}
+	}
+	return out
+}
+
+// Mean reduces a to a 1×1 scalar (Σa)/len(a).
+func Mean(a *Node) *Node {
+	n := float64(len(a.Value.Data))
+	return Scale(Sum(a), 1/n)
+}
+
+// ConcatCols returns [a | b]: rows must match.
+func ConcatCols(a, b *Node) *Node {
+	t := sameTape("ConcatCols", a, b)
+	if a.Value.Rows != b.Value.Rows {
+		panic("autodiff: ConcatCols row mismatch")
+	}
+	rows, ca, cb := a.Value.Rows, a.Value.Cols, b.Value.Cols
+	val := tensor.New(rows, ca+cb)
+	for i := 0; i < rows; i++ {
+		copy(val.Row(i)[:ca], a.Value.Row(i))
+		copy(val.Row(i)[ca:], b.Value.Row(i))
+	}
+	out := t.add(val, nil)
+	out.backward = func() {
+		ga, gb := a.grad(), b.grad()
+		for i := 0; i < rows; i++ {
+			grow := out.Grad.Row(i)
+			for j := 0; j < ca; j++ {
+				ga.Row(i)[j] += grow[j]
+			}
+			for j := 0; j < cb; j++ {
+				gb.Row(i)[j] += grow[ca+j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"privim/internal/graph"
+	"privim/internal/tensor"
+)
+
+// SparseMat is a static sparse matrix in coordinate form, used for
+// adjacency-based aggregation. Entry k contributes W[k]·X[Src[k]] to output
+// row Dst[k] under SpMM. It is data (not differentiated through).
+type SparseMat struct {
+	NumRows, NumCols int
+	Dst, Src         []int32
+	W                []float64
+}
+
+// NewSparse validates and wraps a coordinate-form sparse matrix.
+func NewSparse(numRows, numCols int, dst, src []int32, w []float64) *SparseMat {
+	if len(dst) != len(src) || len(dst) != len(w) {
+		panic("autodiff: NewSparse length mismatch")
+	}
+	for k := range dst {
+		if int(dst[k]) >= numRows || int(src[k]) >= numCols || dst[k] < 0 || src[k] < 0 {
+			panic(fmt.Sprintf("autodiff: NewSparse entry %d (%d,%d) out of %dx%d", k, dst[k], src[k], numRows, numCols))
+		}
+	}
+	return &SparseMat{NumRows: numRows, NumCols: numCols, Dst: dst, Src: src, W: w}
+}
+
+// InAdjacency builds the aggregation matrix A with A[u][v] = w(v→u) for each
+// arc v→u of g (Eq. 2 of the paper): SpMM(A, H) aggregates each node's
+// in-neighbors weighted by influence probability.
+func InAdjacency(g *graph.Graph) *SparseMat {
+	n := g.NumNodes()
+	var dst, src []int32
+	var w []float64
+	for u := 0; u < n; u++ {
+		for _, a := range g.In(graph.NodeID(u)) {
+			dst = append(dst, int32(u))
+			src = append(src, int32(a.To))
+			w = append(w, a.Weight)
+		}
+	}
+	return &SparseMat{NumRows: n, NumCols: n, Dst: dst, Src: src, W: w}
+}
+
+// OutAdjacency builds A with A[u][v] = w(u→v) for each arc u→v: SpMM(A, H)
+// aggregates each node's out-neighbors.
+func OutAdjacency(g *graph.Graph) *SparseMat {
+	n := g.NumNodes()
+	var dst, src []int32
+	var w []float64
+	for u := 0; u < n; u++ {
+		for _, a := range g.Out(graph.NodeID(u)) {
+			dst = append(dst, int32(u))
+			src = append(src, int32(a.To))
+			w = append(w, a.Weight)
+		}
+	}
+	return &SparseMat{NumRows: n, NumCols: n, Dst: dst, Src: src, W: w}
+}
+
+// GCNNormalized builds the symmetric-normalized aggregation matrix
+// Â[u][v] = 1/√(d̂_u·d̂_v) over in-arcs plus self loops, the GCN propagation
+// rule (Appendix G, Eq. 31-32).
+func GCNNormalized(g *graph.Graph) *SparseMat {
+	n := g.NumNodes()
+	deg := make([]float64, n) // d̂ = in-degree + 1 (self loop)
+	for u := 0; u < n; u++ {
+		deg[u] = float64(g.InDegree(graph.NodeID(u))) + 1
+	}
+	var dst, src []int32
+	var w []float64
+	for u := 0; u < n; u++ {
+		dst = append(dst, int32(u))
+		src = append(src, int32(u))
+		w = append(w, 1/deg[u])
+		for _, a := range g.In(graph.NodeID(u)) {
+			dst = append(dst, int32(u))
+			src = append(src, int32(a.To))
+			w = append(w, 1/sqrtProd(deg[u], deg[a.To]))
+		}
+	}
+	return &SparseMat{NumRows: n, NumCols: n, Dst: dst, Src: src, W: w}
+}
+
+func sqrtProd(a, b float64) float64 { return math.Sqrt(a * b) }
+
+// SpMM returns A·X for a static sparse A and a tape node X.
+func SpMM(a *SparseMat, x *Node) *Node {
+	if x.Value.Rows != a.NumCols {
+		panic(fmt.Sprintf("autodiff: SpMM %dx%d × %dx%d", a.NumRows, a.NumCols, x.Value.Rows, x.Value.Cols))
+	}
+	cols := x.Value.Cols
+	val := tensor.New(a.NumRows, cols)
+	for k := range a.Dst {
+		d, s, w := a.Dst[k], a.Src[k], a.W[k]
+		drow := val.Row(int(d))
+		srow := x.Value.Row(int(s))
+		for j := 0; j < cols; j++ {
+			drow[j] += w * srow[j]
+		}
+	}
+	out := x.tape.add(val, nil)
+	out.backward = func() {
+		gx := x.grad()
+		for k := range a.Dst {
+			d, s, w := a.Dst[k], a.Src[k], a.W[k]
+			grow := out.Grad.Row(int(d))
+			srow := gx.Row(int(s))
+			for j := 0; j < cols; j++ {
+				srow[j] += w * grow[j]
+			}
+		}
+	}
+	return out
+}
+
+// GatherRows returns a matrix whose i-th row is x's idx[i]-th row. idx may
+// repeat rows; the backward pass scatter-adds into x.
+func GatherRows(x *Node, idx []int32) *Node {
+	cols := x.Value.Cols
+	val := tensor.New(len(idx), cols)
+	for i, r := range idx {
+		copy(val.Row(i), x.Value.Row(int(r)))
+	}
+	out := x.tape.add(val, nil)
+	out.backward = func() {
+		gx := x.grad()
+		for i, r := range idx {
+			grow := out.Grad.Row(i)
+			xrow := gx.Row(int(r))
+			for j, g := range grow {
+				xrow[j] += g
+			}
+		}
+	}
+	return out
+}
+
+// ScatterAddRows returns a numOut-row matrix where row idx[i] accumulates
+// x's row i. The backward pass gathers.
+func ScatterAddRows(x *Node, idx []int32, numOut int) *Node {
+	cols := x.Value.Cols
+	if len(idx) != x.Value.Rows {
+		panic("autodiff: ScatterAddRows idx length mismatch")
+	}
+	val := tensor.New(numOut, cols)
+	for i, r := range idx {
+		drow := val.Row(int(r))
+		xrow := x.Value.Row(i)
+		for j, v := range xrow {
+			drow[j] += v
+		}
+	}
+	out := x.tape.add(val, nil)
+	out.backward = func() {
+		gx := x.grad()
+		for i, r := range idx {
+			grow := out.Grad.Row(int(r))
+			xrow := gx.Row(i)
+			for j, g := range grow {
+				xrow[j] += g
+			}
+		}
+	}
+	return out
+}
+
+// MulColBroadcast multiplies each row i of x (E×d) by the scalar alpha_i
+// (E×1): the attention-weighting step in GAT/GRAT layers.
+func MulColBroadcast(x, alpha *Node) *Node {
+	t := sameTape("MulColBroadcast", x, alpha)
+	if alpha.Value.Cols != 1 || alpha.Value.Rows != x.Value.Rows {
+		panic("autodiff: MulColBroadcast alpha must be E×1 matching x rows")
+	}
+	val := tensor.New(x.Value.Rows, x.Value.Cols)
+	for i := 0; i < val.Rows; i++ {
+		a := alpha.Value.Data[i]
+		xrow := x.Value.Row(i)
+		vrow := val.Row(i)
+		for j, v := range xrow {
+			vrow[j] = a * v
+		}
+	}
+	out := t.add(val, nil)
+	out.backward = func() {
+		gx, ga := x.grad(), alpha.grad()
+		for i := 0; i < val.Rows; i++ {
+			a := alpha.Value.Data[i]
+			grow := out.Grad.Row(i)
+			xrow := x.Value.Row(i)
+			gxrow := gx.Row(i)
+			dot := 0.0
+			for j, g := range grow {
+				gxrow[j] += a * g
+				dot += g * xrow[j]
+			}
+			ga.Data[i] += dot
+		}
+	}
+	return out
+}
+
+// SegmentSoftmax computes softmax over groups of entries of the E×1 column
+// scores: entries sharing seg[i] form one softmax group (attention
+// normalization over each node's edge list). numSegments bounds seg values.
+func SegmentSoftmax(scores *Node, seg []int32, numSegments int) *Node {
+	if scores.Value.Cols != 1 || len(seg) != scores.Value.Rows {
+		panic("autodiff: SegmentSoftmax wants E×1 scores with matching seg")
+	}
+	e := len(seg)
+	val := tensor.New(e, 1)
+	// Stable per-segment softmax: subtract per-segment max.
+	maxes := make([]float64, numSegments)
+	for i := range maxes {
+		maxes[i] = negInf
+	}
+	for i := 0; i < e; i++ {
+		if v := scores.Value.Data[i]; v > maxes[seg[i]] {
+			maxes[seg[i]] = v
+		}
+	}
+	sums := make([]float64, numSegments)
+	for i := 0; i < e; i++ {
+		ex := exp(scores.Value.Data[i] - maxes[seg[i]])
+		val.Data[i] = ex
+		sums[seg[i]] += ex
+	}
+	for i := 0; i < e; i++ {
+		val.Data[i] /= sums[seg[i]]
+	}
+	out := scores.tape.add(val, nil)
+	out.backward = func() {
+		gs := scores.grad()
+		// For each segment: ds_i = a_i (g_i − Σ_k a_k g_k).
+		dots := make([]float64, numSegments)
+		for i := 0; i < e; i++ {
+			dots[seg[i]] += val.Data[i] * out.Grad.Data[i]
+		}
+		for i := 0; i < e; i++ {
+			gs.Data[i] += val.Data[i] * (out.Grad.Data[i] - dots[seg[i]])
+		}
+	}
+	return out
+}
+
+var negInf = math.Inf(-1)
+
+// exp clamps its argument to avoid overflow on pathological attention scores.
+func exp(x float64) float64 {
+	if x > 700 {
+		x = 700
+	}
+	return math.Exp(x)
+}

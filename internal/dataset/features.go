@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"math"
+
+	"privim/internal/graph"
+)
+
+// NumStructuralFeatures is the feature dimension produced by
+// StructuralFeatures.
+const NumStructuralFeatures = 4
+
+// StructuralFeatures computes the d=4 node feature matrix X used as GNN
+// input: log-scaled out-degree, log-scaled in-degree, total outgoing
+// influence weight, and a constant bias channel. The paper does not rely on
+// exogenous attributes for IM — influence is a structural property — so the
+// features are derived from the graph itself, which also keeps the DP
+// analysis purely node-level.
+//
+// The returned matrix is row-major with NumNodes rows and
+// NumStructuralFeatures columns.
+func StructuralFeatures(g *graph.Graph) []float64 {
+	n := g.NumNodes()
+	x := make([]float64, n*NumStructuralFeatures)
+	// Normalize log-degrees by log(maxDegree+1) so features stay in [0,1]
+	// regardless of graph size.
+	maxOut, maxIn := 1, 1
+	for v := 0; v < n; v++ {
+		if d := g.OutDegree(graph.NodeID(v)); d > maxOut {
+			maxOut = d
+		}
+		if d := g.InDegree(graph.NodeID(v)); d > maxIn {
+			maxIn = d
+		}
+	}
+	outNorm := math.Log(float64(maxOut) + 1)
+	inNorm := math.Log(float64(maxIn) + 1)
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		wsum := 0.0
+		for _, a := range g.Out(id) {
+			wsum += a.Weight
+		}
+		row := x[v*NumStructuralFeatures : (v+1)*NumStructuralFeatures]
+		row[0] = math.Log(float64(g.OutDegree(id))+1) / outNorm
+		row[1] = math.Log(float64(g.InDegree(id))+1) / inNorm
+		row[2] = wsum / (wsum + 1) // squashed outgoing influence mass
+		row[3] = 1                 // bias channel
+	}
+	return x
+}

@@ -1,0 +1,228 @@
+// Package diffusion implements influence-propagation simulation: the
+// Independent Cascade model (Definition 6, the paper's evaluation model)
+// plus the Linear Threshold and SIS models named as future-work extensions.
+// Spread estimation is Monte Carlo with optional parallelism; all runs are
+// deterministic given a seed.
+package diffusion
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"privim/internal/graph"
+)
+
+// Model simulates one cascade from a seed set and reports the number of
+// activated nodes (including seeds).
+type Model interface {
+	// Simulate runs a single stochastic cascade with rng and returns the
+	// final active count.
+	Simulate(seeds []graph.NodeID, rng *rand.Rand) int
+	// Name identifies the model for reporting.
+	Name() string
+}
+
+// IC is the Independent Cascade model: each newly activated node u gets one
+// chance to activate each inactive out-neighbor v with probability w(u,v).
+// MaxSteps limits propagation depth (0 = unbounded); the paper's evaluation
+// restricts the diffusion to j=1 step.
+type IC struct {
+	G        *graph.Graph
+	MaxSteps int
+}
+
+// Name implements Model.
+func (m *IC) Name() string { return "ic" }
+
+// Simulate implements Model.
+func (m *IC) Simulate(seeds []graph.NodeID, rng *rand.Rand) int {
+	active := make([]bool, m.G.NumNodes())
+	frontier := make([]graph.NodeID, 0, len(seeds))
+	for _, s := range seeds {
+		if !active[s] {
+			active[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	count := len(frontier)
+	for step := 0; len(frontier) > 0; step++ {
+		if m.MaxSteps > 0 && step >= m.MaxSteps {
+			break
+		}
+		var next []graph.NodeID
+		for _, u := range frontier {
+			for _, a := range m.G.Out(u) {
+				if active[a.To] {
+					continue
+				}
+				if rng.Float64() < a.Weight {
+					active[a.To] = true
+					next = append(next, a.To)
+					count++
+				}
+			}
+		}
+		frontier = next
+	}
+	return count
+}
+
+// LT is the Linear Threshold model: each node draws a uniform threshold and
+// activates once the summed weight of its active in-neighbors reaches it.
+type LT struct {
+	G        *graph.Graph
+	MaxSteps int
+}
+
+// Name implements Model.
+func (m *LT) Name() string { return "lt" }
+
+// Simulate implements Model.
+func (m *LT) Simulate(seeds []graph.NodeID, rng *rand.Rand) int {
+	n := m.G.NumNodes()
+	active := make([]bool, n)
+	threshold := make([]float64, n)
+	for v := range threshold {
+		threshold[v] = rng.Float64()
+	}
+	influence := make([]float64, n) // accumulated active in-weight
+	frontier := make([]graph.NodeID, 0, len(seeds))
+	for _, s := range seeds {
+		if !active[s] {
+			active[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	count := len(frontier)
+	for step := 0; len(frontier) > 0; step++ {
+		if m.MaxSteps > 0 && step >= m.MaxSteps {
+			break
+		}
+		var next []graph.NodeID
+		for _, u := range frontier {
+			for _, a := range m.G.Out(u) {
+				if active[a.To] {
+					continue
+				}
+				influence[a.To] += a.Weight
+				if influence[a.To] >= threshold[a.To] {
+					active[a.To] = true
+					next = append(next, a.To)
+					count++
+				}
+			}
+		}
+		frontier = next
+	}
+	return count
+}
+
+// SIS is the Susceptible-Infectious-Susceptible epidemic model: infected
+// nodes infect susceptible out-neighbors with the arc weight as the
+// per-step probability and recover (back to susceptible) with probability
+// Recovery. The cascade runs for Steps rounds; the result counts nodes
+// that were ever infected.
+type SIS struct {
+	G        *graph.Graph
+	Recovery float64
+	Steps    int
+}
+
+// Name implements Model.
+func (m *SIS) Name() string { return "sis" }
+
+// Simulate implements Model.
+func (m *SIS) Simulate(seeds []graph.NodeID, rng *rand.Rand) int {
+	if m.Steps < 1 {
+		panic("diffusion: SIS requires Steps >= 1")
+	}
+	n := m.G.NumNodes()
+	infected := make([]bool, n)
+	ever := make([]bool, n)
+	count := 0
+	for _, s := range seeds {
+		if !ever[s] {
+			infected[s], ever[s] = true, true
+			count++
+		}
+	}
+	cur := append([]graph.NodeID(nil), seeds...)
+	for step := 0; step < m.Steps && len(cur) > 0; step++ {
+		var next []graph.NodeID
+		newlyInfected := make(map[graph.NodeID]bool)
+		for _, u := range cur {
+			for _, a := range m.G.Out(u) {
+				if infected[a.To] || newlyInfected[a.To] {
+					continue
+				}
+				if rng.Float64() < a.Weight {
+					newlyInfected[a.To] = true
+				}
+			}
+		}
+		// Recoveries happen after transmission within a round.
+		for _, u := range cur {
+			if rng.Float64() < m.Recovery {
+				infected[u] = false
+			} else {
+				next = append(next, u)
+			}
+		}
+		for v := range newlyInfected {
+			infected[v] = true
+			if !ever[v] {
+				ever[v] = true
+				count++
+			}
+			next = append(next, v)
+		}
+		cur = next
+	}
+	return count
+}
+
+// Estimate runs rounds Monte Carlo simulations of model from seeds and
+// returns the mean spread. Simulations run in parallel across CPUs;
+// the result is deterministic for a fixed seed and rounds because each
+// round derives its own rng from the round index.
+func Estimate(model Model, seeds []graph.NodeID, rounds int, seed int64) float64 {
+	if rounds < 1 {
+		panic(fmt.Sprintf("diffusion: Estimate rounds = %d", rounds))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rounds {
+		workers = rounds
+	}
+	totals := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local int64
+			for r := w; r < rounds; r += workers {
+				rng := rand.New(rand.NewSource(seed + int64(r)*1_000_003))
+				local += int64(model.Simulate(seeds, rng))
+			}
+			totals[w] = local
+		}(w)
+	}
+	wg.Wait()
+	var sum int64
+	for _, v := range totals {
+		sum += v
+	}
+	return float64(sum) / float64(rounds)
+}
+
+// EstimateMany evaluates the spread of several seed sets, reusing the
+// parallel estimator. Returns one mean per seed set.
+func EstimateMany(model Model, seedSets [][]graph.NodeID, rounds int, seed int64) []float64 {
+	out := make([]float64, len(seedSets))
+	for i, s := range seedSets {
+		out[i] = Estimate(model, s, rounds, seed+int64(i))
+	}
+	return out
+}

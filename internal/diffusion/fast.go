@@ -1,0 +1,86 @@
+package diffusion
+
+import (
+	"math/rand"
+	"sync"
+
+	"privim/internal/graph"
+)
+
+// FastIC is an allocation-free Independent Cascade simulator over a frozen
+// CSR graph. It reuses per-goroutine scratch buffers (visited epochs and a
+// frontier ring) so repeated Monte Carlo rounds do zero heap work after
+// warm-up — the hot path behind CELF on larger graphs.
+type FastIC struct {
+	CSR      *graph.CSR
+	MaxSteps int
+
+	pool sync.Pool
+}
+
+type icScratch struct {
+	epoch    []int32
+	curEpoch int32
+	frontier []graph.NodeID
+	next     []graph.NodeID
+}
+
+// Name implements Model.
+func (m *FastIC) Name() string { return "ic-fast" }
+
+func (m *FastIC) scratch() *icScratch {
+	if s, ok := m.pool.Get().(*icScratch); ok && len(s.epoch) == m.CSR.NumNodes {
+		return s
+	}
+	return &icScratch{
+		epoch:    make([]int32, m.CSR.NumNodes),
+		frontier: make([]graph.NodeID, 0, 64),
+		next:     make([]graph.NodeID, 0, 64),
+	}
+}
+
+// Simulate implements Model. Safe for concurrent use: each call checks a
+// scratch buffer out of the pool.
+func (m *FastIC) Simulate(seeds []graph.NodeID, rng *rand.Rand) int {
+	s := m.scratch()
+	defer m.pool.Put(s)
+	s.curEpoch++
+	if s.curEpoch == 0 { // wrapped: reset lazily
+		for i := range s.epoch {
+			s.epoch[i] = 0
+		}
+		s.curEpoch = 1
+	}
+	active := s.curEpoch
+	frontier := s.frontier[:0]
+	for _, v := range seeds {
+		if s.epoch[v] != active {
+			s.epoch[v] = active
+			frontier = append(frontier, v)
+		}
+	}
+	count := len(frontier)
+	next := s.next[:0]
+	for step := 0; len(frontier) > 0; step++ {
+		if m.MaxSteps > 0 && step >= m.MaxSteps {
+			break
+		}
+		next = next[:0]
+		for _, u := range frontier {
+			targets, weights := m.CSR.Out(u)
+			for i, v := range targets {
+				if s.epoch[v] == active {
+					continue
+				}
+				if rng.Float64() < weights[i] {
+					s.epoch[v] = active
+					next = append(next, v)
+					count++
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	s.frontier, s.next = frontier, next
+	return count
+}

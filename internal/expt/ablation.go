@@ -1,0 +1,140 @@
+package expt
+
+import (
+	"io"
+
+	"privim/internal/dataset"
+	"privim/internal/dp"
+	"privim/internal/privim"
+)
+
+// SweepPoint is a generic (parameter value → spread) measurement used by
+// the design-choice ablations DESIGN.md calls out.
+type SweepPoint struct {
+	Dataset dataset.Preset
+	Param   float64
+	Spread  float64
+}
+
+// RunAblationDecay sweeps the SCS decay factor µ (Eq. 9): µ→0 approaches
+// uniform RWR, large µ aggressively avoids frequent nodes.
+func RunAblationDecay(s Settings, muGrid []float64, w io.Writer) ([]SweepPoint, error) {
+	s = s.normalize()
+	if len(muGrid) == 0 {
+		muGrid = []float64{0.25, 0.5, 1, 2, 4}
+	}
+	logf(w, "Ablation: SCS decay factor mu (eps=3)\n")
+	logf(w, "%-12s %8s %10s\n", "dataset", "mu", "spread")
+	var points []SweepPoint
+	for _, p := range s.Datasets {
+		e, err := newEval(p, s, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, mu := range muGrid {
+			cfg := e.trainConfig(privim.ModeDual, 3, s.Seed)
+			cfg.Mu = mu
+			out, err := e.runMethod(cfg, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, SweepPoint{Dataset: p, Param: mu, Spread: out.Spread})
+			logf(w, "%-12s %8.2f %10.2f\n", p, mu, out.Spread)
+		}
+	}
+	return points, nil
+}
+
+// RunAblationBESDivisor sweeps the BES subgraph-size divisor s: larger
+// divisors mean smaller boundary subgraphs.
+func RunAblationBESDivisor(s Settings, divGrid []int, w io.Writer) ([]SweepPoint, error) {
+	s = s.normalize()
+	if len(divGrid) == 0 {
+		divGrid = []int{2, 3, 4}
+	}
+	logf(w, "Ablation: BES size divisor s (eps=3)\n")
+	logf(w, "%-12s %8s %10s\n", "dataset", "s", "spread")
+	var points []SweepPoint
+	for _, p := range s.Datasets {
+		e, err := newEval(p, s, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, div := range divGrid {
+			cfg := e.trainConfig(privim.ModeDual, 3, s.Seed)
+			cfg.BESDivisor = div
+			out, err := e.runMethod(cfg, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, SweepPoint{Dataset: p, Param: float64(div), Spread: out.Spread})
+			logf(w, "%-12s %8d %10.2f\n", p, div, out.Spread)
+		}
+	}
+	return points, nil
+}
+
+// RunAblationDiffusionSteps sweeps the loss diffusion horizon j ≤ r
+// (Theorem 2 couples it to the GNN depth).
+func RunAblationDiffusionSteps(s Settings, steps []int, w io.Writer) ([]SweepPoint, error) {
+	s = s.normalize()
+	if len(steps) == 0 {
+		steps = []int{1, 2, 3}
+	}
+	logf(w, "Ablation: loss diffusion steps j (eps=3)\n")
+	logf(w, "%-12s %8s %10s\n", "dataset", "j", "spread")
+	var points []SweepPoint
+	for _, p := range s.Datasets {
+		e, err := newEval(p, s, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range steps {
+			if j > s.Layers {
+				continue // Theorem 2 requires j <= r
+			}
+			cfg := e.trainConfig(privim.ModeDual, 3, s.Seed)
+			cfg.LossSteps = j
+			out, err := e.runMethod(cfg, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, SweepPoint{Dataset: p, Param: float64(j), Spread: out.Spread})
+			logf(w, "%-12s %8d %10.2f\n", p, j, out.Spread)
+		}
+	}
+	return points, nil
+}
+
+// AccountantRow compares the RDP accountant's calibrated σ against the
+// naive per-iteration Gaussian-mechanism composition for the same budget.
+type AccountantRow struct {
+	Epsilon    float64
+	SigmaRDP   float64
+	SigmaNaive float64
+}
+
+// RunAblationAccountant quantifies how much noise the Theorem 3 accountant
+// saves over naive composition (splitting ε evenly across T iterations and
+// applying the analytic Gaussian mechanism per step).
+func RunAblationAccountant(s Settings, w io.Writer) ([]AccountantRow, error) {
+	s = s.normalize()
+	const m, ng = 200, 4
+	logf(w, "Ablation: RDP accountant vs naive composition (T=%d, B=%d)\n", s.Iterations, s.BatchSize)
+	logf(w, "%8s %12s %12s %8s\n", "epsilon", "sigma-rdp", "sigma-naive", "ratio")
+	var rows []AccountantRow
+	for _, eps := range s.Epsilons {
+		sigmaRDP, err := dp.CalibrateSigma(eps, 1e-5, s.Iterations, s.BatchSize, m, ng)
+		if err != nil {
+			return nil, err
+		}
+		// Naive: per-iteration budget eps/T with delta/T, no subsampling
+		// amplification.
+		perIterEps := eps / float64(s.Iterations)
+		perIterDelta := 1e-5 / float64(s.Iterations)
+		sigmaNaive := dp.GaussianMechanismSigma(perIterDelta, perIterEps, 1)
+		rows = append(rows, AccountantRow{Epsilon: eps, SigmaRDP: sigmaRDP, SigmaNaive: sigmaNaive})
+		logf(w, "%8.1f %12.4f %12.4f %8.2f\n", eps, sigmaRDP, sigmaNaive, sigmaNaive/sigmaRDP)
+	}
+	return rows, nil
+}

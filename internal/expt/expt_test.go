@@ -1,0 +1,366 @@
+package expt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"privim/internal/dataset"
+	"privim/internal/gnn"
+	"privim/internal/privim"
+)
+
+// tinySettings keeps runner tests fast: one small dataset, few iterations.
+func tinySettings() Settings {
+	s := Quick()
+	s.Datasets = []dataset.Preset{dataset.Email}
+	s.MinNodes = 150
+	s.MaxNodes = 200
+	s.Iterations = 4
+	s.BatchSize = 4
+	s.SubgraphSize = 10
+	s.HiddenDim = 8
+	s.Layers = 2
+	s.Epsilons = []float64{1, 4}
+	s.SeedSetSize = 5
+	return s
+}
+
+func TestEffectiveScale(t *testing.T) {
+	s := Quick()
+	for _, p := range dataset.AllPresets() {
+		scale, err := s.effectiveScale(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, _ := dataset.SpecFor(p)
+		nodes := int(float64(spec.Nodes) * scale)
+		if nodes < s.MinNodes-1 || nodes > s.MaxNodes+1 {
+			t.Errorf("%s: effective nodes %d outside [%d, %d]", p, nodes, s.MinNodes, s.MaxNodes)
+		}
+	}
+	if _, err := s.effectiveScale(dataset.Preset("nope")); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+}
+
+func TestNewEvalComputesCELF(t *testing.T) {
+	s := tinySettings()
+	e, err := newEval(dataset.Email, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.celfSpread < float64(e.k) {
+		t.Fatalf("CELF spread %v below seed count %d", e.celfSpread, e.k)
+	}
+	if len(e.celfSeeds) != e.k {
+		t.Fatalf("CELF selected %d seeds, want %d", len(e.celfSeeds), e.k)
+	}
+	// CELF must beat (or match) a random-ish single method run.
+	out, err := e.runMethod(e.trainConfig(privim.ModeEGN, 1, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Spread > e.celfSpread*1.0001 {
+		t.Fatalf("method spread %v exceeds CELF ground truth %v", out.Spread, e.celfSpread)
+	}
+	if out.Coverage < 0 || out.Coverage > 100.01 {
+		t.Fatalf("coverage %v%% out of range", out.Coverage)
+	}
+}
+
+func TestRunTableI(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySettings()
+	s.Datasets = []dataset.Preset{dataset.Email, dataset.LastFM}
+	rows, err := RunTableI(s, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if !rows[0].Directed || rows[1].Directed {
+		t.Fatalf("directedness wrong: %+v", rows)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no table output written")
+	}
+}
+
+func TestRunTableII(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunTableII(tinySettings(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-private once + 3 modes × 2 budgets.
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(rows))
+	}
+	var nonPrivate float64
+	for _, r := range rows {
+		if r.Coverage < 0 || r.Coverage > 120 {
+			t.Fatalf("coverage %v%% implausible for %+v", r.Coverage, r)
+		}
+		if r.Mode == privim.ModeNonPrivate {
+			if !math.IsInf(r.Epsilon, 1) {
+				t.Fatalf("non-private row epsilon = %v", r.Epsilon)
+			}
+			nonPrivate = r.Coverage
+		}
+	}
+	if nonPrivate == 0 {
+		t.Fatal("missing non-private reference row")
+	}
+}
+
+func TestRunTableIII(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunTableIII(tinySettings(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 4 modes × 1 dataset
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Preprocess <= 0 || r.PerEpoch <= 0 {
+			t.Fatalf("timings not positive: %+v", r)
+		}
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySettings()
+	pts, err := RunFig5(s, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 non-private + 5 methods × 2 epsilons.
+	if len(pts) != 11 {
+		t.Fatalf("got %d points, want 11", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Spread <= 0 || pt.CELFSpread <= 0 {
+			t.Fatalf("bad point %+v", pt)
+		}
+		if pt.Spread > pt.CELFSpread*1.01 {
+			t.Fatalf("method %s beat CELF: %v > %v", pt.Mode, pt.Spread, pt.CELFSpread)
+		}
+	}
+}
+
+func TestRunFig5Friendster(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySettings()
+	s.Epsilons = []float64{3}
+	pts, err := RunFig5Friendster(s, 2, 150, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("got %d points, want 5 (methods)", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Spread <= 0 {
+			t.Fatalf("bad friendster point %+v", pt)
+		}
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := RunFig6(tinySettings(), []int{10}, []int{2, 4}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := RunFig7(tinySettings(), []int{8, 12}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := RunFig8(tinySettings(), 3, 10, []int{2, 4}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Indicator < 0 || pt.Indicator > 1 {
+			t.Fatalf("indicator %v outside [0,1]", pt.Indicator)
+		}
+	}
+}
+
+func TestRunFig9(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := RunFig9(tinySettings(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 kinds × 2 epsilons × 1 dataset.
+	if len(pts) != 10 {
+		t.Fatalf("got %d points, want 10", len(pts))
+	}
+	kinds := map[gnn.Kind]bool{}
+	for _, pt := range pts {
+		kinds[pt.Kind] = true
+	}
+	if len(kinds) != 5 {
+		t.Fatalf("covered %d architectures, want 5", len(kinds))
+	}
+}
+
+func TestRunFig13(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := RunFig13(tinySettings(), []int{5, 10}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	s := tinySettings()
+	var buf bytes.Buffer
+	if pts, err := RunAblationDecay(s, []float64{0.5, 2}, &buf); err != nil || len(pts) != 2 {
+		t.Fatalf("decay ablation: %v, %d points", err, len(pts))
+	}
+	if pts, err := RunAblationBESDivisor(s, []int{2, 3}, &buf); err != nil || len(pts) != 2 {
+		t.Fatalf("BES ablation: %v, %d points", err, len(pts))
+	}
+	if pts, err := RunAblationDiffusionSteps(s, []int{1, 2}, &buf); err != nil || len(pts) != 2 {
+		t.Fatalf("steps ablation: %v, %d points", err, len(pts))
+	}
+}
+
+func TestRunAblationAccountant(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySettings()
+	rows, err := RunAblationAccountant(s, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(s.Epsilons) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.SigmaRDP <= 0 || r.SigmaNaive <= 0 {
+			t.Fatalf("bad sigmas %+v", r)
+		}
+		// The RDP accountant with subsampling must need less noise than
+		// naive composition.
+		if r.SigmaRDP >= r.SigmaNaive {
+			t.Fatalf("RDP sigma %v not better than naive %v at eps=%v", r.SigmaRDP, r.SigmaNaive, r.Epsilon)
+		}
+	}
+}
+
+func TestRunLDPComparison(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySettings()
+	pts, err := RunLDPComparison(s, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(s.Epsilons) {
+		t.Fatalf("got %d points, want %d", len(pts), len(s.Epsilons))
+	}
+	for _, pt := range pts {
+		if pt.CentralDP < 0 || pt.LocalDP < 0 || pt.TrueDegree <= 0 {
+			t.Fatalf("bad point %+v", pt)
+		}
+		if pt.LocalDP > pt.TrueDegree*1.2 {
+			t.Fatalf("LDP coverage %v implausibly above its eps→inf limit %v", pt.LocalDP, pt.TrueDegree)
+		}
+	}
+}
+
+func TestRunSolverComparison(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySettings()
+	pts, err := RunSolverComparison(s, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("got %d solver points, want 8", len(pts))
+	}
+	names := map[string]bool{}
+	for _, pt := range pts {
+		names[pt.Solver] = true
+		if pt.Coverage < 0 || pt.Coverage > 110 {
+			t.Fatalf("coverage %v implausible for %s", pt.Coverage, pt.Solver)
+		}
+		if pt.Private && pt.Epsilon != 3 {
+			t.Fatalf("private solver %s missing epsilon", pt.Solver)
+		}
+	}
+	for _, want := range []string{"degree", "imm", "static-greedy", "noisy-greedy", "ldp-degree", "privim*"} {
+		if !names[want] {
+			t.Fatalf("missing solver %s in %v", want, names)
+		}
+	}
+}
+
+func TestRunAllAssemblesSuite(t *testing.T) {
+	s := tinySettings()
+	s.Epsilons = []float64{3}
+	res, err := RunAll(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TableI) == 0 || len(res.TableII) == 0 || len(res.Fig5) == 0 ||
+		len(res.Fig9) == 0 || len(res.Fig13) == 0 {
+		t.Fatalf("suite result incomplete: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty JSON")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Fatalf("meanStd = %v, %v; want 5, 2", mean, std)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty meanStd should be 0,0")
+	}
+}
+
+func TestSettingsNormalizeDefaults(t *testing.T) {
+	s := Settings{}.normalize()
+	if s.Scale <= 0 || s.SeedSetSize == 0 || len(s.Epsilons) == 0 || len(s.Datasets) == 0 {
+		t.Fatalf("normalize left zero fields: %+v", s)
+	}
+}
+
+func TestPaperSettings(t *testing.T) {
+	s := Paper()
+	if s.Scale != 1 || s.SeedSetSize != 50 || s.Repeats != 5 {
+		t.Fatalf("paper settings wrong: %+v", s)
+	}
+}

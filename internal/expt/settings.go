@@ -1,0 +1,195 @@
+// Package expt is the experiment harness: one runner per table and figure
+// of the paper's evaluation (§V and the appendix), producing the same rows
+// and series the paper reports. Runners are deterministic given Settings.
+//
+// The harness runs on scaled-down surrogate datasets by default (see
+// DESIGN.md §2); Settings control the scale, so full-size runs are a flag
+// away. Absolute numbers differ from the paper's testbed — the reproduced
+// quantity is the shape: method ordering, trends in n / M / θ / ε, and
+// crossovers.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"privim/internal/dataset"
+)
+
+// Settings parameterize a whole experiment suite run.
+type Settings struct {
+	// Scale is the fraction of each preset's paper-scale node count.
+	Scale float64
+	// MinNodes / MaxNodes clamp the per-dataset node counts so one suite
+	// run has comparable per-dataset cost while preserving the size
+	// ordering across datasets.
+	MinNodes, MaxNodes int
+
+	// SeedSetSize is k (paper: 50; scaled default: 10).
+	SeedSetSize int
+	// Repeats averages each measurement over this many seeds (paper: 5).
+	Repeats int
+	// Epsilons is the privacy-budget sweep for Figure 5 (paper: 1..6).
+	Epsilons []float64
+	// Datasets lists the presets to run (default: all six).
+	Datasets []dataset.Preset
+
+	// DiffusionSteps is j for evaluation (paper: 1; with InfluenceProb 1
+	// this makes spread deterministic).
+	DiffusionSteps int
+	// MCRounds is the Monte Carlo rounds per spread estimate (1 suffices
+	// for deterministic cascades).
+	MCRounds int
+
+	// Training knobs passed through to privim.Config.
+	Iterations   int
+	BatchSize    int
+	SubgraphSize int
+	Threshold    int
+	Theta        int
+	HiddenDim    int
+	Layers       int
+
+	// Seed is the master seed; run r of a sweep uses Seed + r·prime.
+	Seed int64
+}
+
+// Quick returns the laptop-scale settings used by the benchmark harness:
+// every dataset at a few hundred nodes, single repeat.
+func Quick() Settings {
+	return Settings{
+		Scale:          0.04,
+		MinNodes:       400,
+		MaxNodes:       1000,
+		SeedSetSize:    10,
+		Repeats:        2,
+		Epsilons:       []float64{1, 2, 3, 4, 5, 6},
+		Datasets:       dataset.AllPresets(),
+		DiffusionSteps: 1,
+		MCRounds:       1,
+		Iterations:     120,
+		BatchSize:      24,
+		SubgraphSize:   12,
+		Threshold:      4,
+		Theta:          10,
+		HiddenDim:      16,
+		Layers:         2,
+		Seed:           1,
+	}
+}
+
+// Paper returns the paper-faithful settings (full-scale datasets, k=50,
+// 5 repeats). Expect hours of compute.
+func Paper() Settings {
+	s := Quick()
+	s.Scale = 1
+	s.MinNodes = 32
+	s.MaxNodes = 1 << 30
+	s.SeedSetSize = 50
+	s.Repeats = 5
+	s.Iterations = 100
+	s.BatchSize = 16
+	s.SubgraphSize = 20
+	s.HiddenDim = 32
+	return s
+}
+
+func (s Settings) normalize() Settings {
+	if s.Scale <= 0 {
+		s.Scale = 0.02
+	}
+	if s.MinNodes == 0 {
+		s.MinNodes = 200
+	}
+	if s.MaxNodes == 0 {
+		s.MaxNodes = 1200
+	}
+	if s.SeedSetSize == 0 {
+		s.SeedSetSize = 10
+	}
+	if s.Repeats == 0 {
+		s.Repeats = 1
+	}
+	if len(s.Epsilons) == 0 {
+		s.Epsilons = []float64{1, 2, 3, 4, 5, 6}
+	}
+	if len(s.Datasets) == 0 {
+		s.Datasets = dataset.AllPresets()
+	}
+	if s.DiffusionSteps == 0 {
+		s.DiffusionSteps = 1
+	}
+	if s.MCRounds == 0 {
+		s.MCRounds = 1
+	}
+	if s.Iterations == 0 {
+		s.Iterations = 25
+	}
+	if s.BatchSize == 0 {
+		s.BatchSize = 8
+	}
+	if s.SubgraphSize == 0 {
+		s.SubgraphSize = 16
+	}
+	if s.Threshold == 0 {
+		s.Threshold = 4
+	}
+	if s.Theta == 0 {
+		s.Theta = 10
+	}
+	if s.HiddenDim == 0 {
+		s.HiddenDim = 16
+	}
+	if s.Layers == 0 {
+		s.Layers = 3
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// effectiveScale converts the suite scale + clamps into the per-preset
+// scale factor dataset.Generate expects.
+func (s Settings) effectiveScale(p dataset.Preset) (float64, error) {
+	spec, err := dataset.SpecFor(p)
+	if err != nil {
+		return 0, err
+	}
+	nodes := int(float64(spec.Nodes) * s.Scale)
+	if nodes < s.MinNodes {
+		nodes = s.MinNodes
+	}
+	if nodes > s.MaxNodes {
+		nodes = s.MaxNodes
+	}
+	if nodes > spec.Nodes {
+		nodes = spec.Nodes
+	}
+	return float64(nodes) / float64(spec.Nodes), nil
+}
+
+// logf writes progress lines when w is non-nil.
+func logf(w io.Writer, format string, args ...interface{}) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+// meanStd returns the mean and (population) standard deviation of xs.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std /= float64(len(xs))
+	return mean, math.Sqrt(std)
+}

@@ -1,0 +1,81 @@
+package expt
+
+import (
+	"io"
+
+	"privim/internal/dataset"
+	"privim/internal/graph"
+	"privim/internal/im"
+	"privim/internal/ldp"
+	"privim/internal/privim"
+)
+
+// SolverPoint is one row of the cross-solver comparison.
+type SolverPoint struct {
+	Dataset  dataset.Preset
+	Solver   string
+	Private  bool
+	Epsilon  float64 // 0 for non-private solvers
+	Coverage float64 // % of CELF
+}
+
+// RunSolverComparison pits every seed-selection strategy in the repository
+// against the CELF reference on each dataset: the classical non-private
+// solvers (greedy family, degree heuristics, RIS, IMM, StaticGreedy), the
+// paper's Example-2 strawman (Laplace-noised greedy at ε=3), the LDP
+// seeder, and the trained PrivIM* model — one table that locates the
+// paper's contribution among its alternatives.
+func RunSolverComparison(s Settings, w io.Writer) ([]SolverPoint, error) {
+	s = s.normalize()
+	logf(w, "Solver comparison (coverage %% of CELF; private solvers at eps=3)\n")
+	logf(w, "%-12s %-16s %8s %12s\n", "dataset", "solver", "private", "coverage")
+	var points []SolverPoint
+	for _, p := range s.Datasets {
+		e, err := newEval(p, s, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		model := e.model()
+		evalSeeds := func(seeds []graph.NodeID) float64 {
+			return im.CoverageRatio(e.spread(seeds, s.Seed), e.celfSpread)
+		}
+
+		type entry struct {
+			name    string
+			private bool
+			seeds   []graph.NodeID
+		}
+		var entries []entry
+		add := func(name string, private bool, seeds []graph.NodeID) {
+			entries = append(entries, entry{name, private, seeds})
+		}
+		add("degree", false, (&im.Degree{G: e.testG}).Select(e.k))
+		add("degree-discount", false, (&im.DegreeDiscount{G: e.testG, P: 1}).Select(e.k))
+		add("ris", false, (&im.RIS{G: e.testG, MaxDepth: s.DiffusionSteps, Seed: s.Seed}).Select(e.k))
+		add("imm", false, (&im.IMM{G: e.testG, MaxDepth: s.DiffusionSteps, Seed: s.Seed}).Select(e.k))
+		add("static-greedy", false, (&im.StaticGreedy{G: e.testG, Worlds: 20, MaxDepth: s.DiffusionSteps, Seed: s.Seed}).Select(e.k))
+		add("noisy-greedy", true, (&im.NoisyGreedy{
+			Model: model, Epsilon: 3, Rounds: s.MCRounds, Seed: s.Seed, NumNodes: e.testG.NumNodes(),
+		}).Select(e.k))
+		add("ldp-degree", true, (&ldp.DegreeSeeder{G: e.testG, Epsilon: 3, Seed: s.Seed}).Select(e.k))
+
+		out, err := e.runMethod(e.trainConfig(privim.ModeDual, 3, s.Seed), s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		add("privim*", true, out.Result.SelectSeeds(e.testG, e.k))
+
+		for _, en := range entries {
+			pt := SolverPoint{
+				Dataset: p, Solver: en.name, Private: en.private,
+				Coverage: evalSeeds(en.seeds),
+			}
+			if en.private {
+				pt.Epsilon = 3
+			}
+			points = append(points, pt)
+			logf(w, "%-12s %-16s %8v %12.2f\n", p, en.name, en.private, pt.Coverage)
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,45 @@
+package expt
+
+import (
+	"io"
+	"time"
+)
+
+// RunAll executes the full experiment suite and assembles a SuiteResult
+// for JSON export. Progress logs go to w (nil to silence). The Friendster
+// panel and the long indicator sweeps are included; callers wanting a
+// subset should invoke the individual runners.
+func RunAll(s Settings, w io.Writer) (*SuiteResult, error) {
+	s = s.normalize()
+	out := &SuiteResult{GeneratedAt: time.Now().UTC(), Settings: s}
+
+	var err error
+	if out.TableI, err = RunTableI(s, w); err != nil {
+		return nil, err
+	}
+	if out.TableII, err = RunTableII(s, w); err != nil {
+		return nil, err
+	}
+	if out.TableIII, err = RunTableIII(s, w); err != nil {
+		return nil, err
+	}
+	if out.Fig5, err = RunFig5(s, w); err != nil {
+		return nil, err
+	}
+	if out.Fig6, err = RunFig6(s, nil, nil, w); err != nil {
+		return nil, err
+	}
+	if out.Fig7, err = RunFig7(s, nil, w); err != nil {
+		return nil, err
+	}
+	if out.Fig8, err = RunFig8(s, 3, 0, nil, w); err != nil {
+		return nil, err
+	}
+	if out.Fig9, err = RunFig9(s, w); err != nil {
+		return nil, err
+	}
+	if out.Fig13, err = RunFig13(s, nil, w); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

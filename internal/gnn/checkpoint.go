@@ -1,0 +1,48 @@
+package gnn
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Save writes a self-describing model checkpoint: a one-line JSON header
+// with the architecture config followed by the binary parameter payload.
+// Load reconstructs the model without needing the original Config.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	header, err := json.Marshal(m.Cfg)
+	if err != nil {
+		return fmt.Errorf("gnn: encoding checkpoint header: %w", err)
+	}
+	if _, err := bw.Write(append(header, '\n')); err != nil {
+		return err
+	}
+	if _, err := m.Params.WriteTo(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a checkpoint written by Save and returns the reconstructed
+// model with its trained weights.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("gnn: reading checkpoint header: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(line, &cfg); err != nil {
+		return nil, fmt.Errorf("gnn: decoding checkpoint header: %w", err)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("gnn: checkpoint config invalid: %w", err)
+	}
+	if err := m.Params.ReadInto(br); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

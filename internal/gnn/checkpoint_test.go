@@ -1,0 +1,54 @@
+package gnn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := tinyGraph()
+	for _, kind := range AllKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			src, err := New(Config{Kind: kind, InputDim: 3, HiddenDim: 6, Layers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			src.Init(rng)
+			x := tinyFeatures(g, 3, rng)
+			want := src.Score(g, x)
+
+			var buf bytes.Buffer
+			if err := src.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cfg != src.Cfg {
+				t.Fatalf("config lost: %+v vs %+v", got.Cfg, src.Cfg)
+			}
+			scores := got.Score(g, x)
+			for i := range want {
+				if scores[i] != want[i] {
+					t.Fatalf("score[%d]: %v != %v after reload", i, scores[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not json\nxx")); err == nil {
+		t.Fatal("expected header error")
+	}
+	if _, err := Load(bytes.NewBufferString(`{"Kind":"bogus","InputDim":1,"HiddenDim":1,"Layers":1}` + "\n")); err == nil {
+		t.Fatal("expected config error")
+	}
+	if _, err := Load(bytes.NewBufferString(`{"Kind":"gcn","InputDim":2,"HiddenDim":4,"Layers":1}` + "\n" + "truncated")); err == nil {
+		t.Fatal("expected payload error")
+	}
+}

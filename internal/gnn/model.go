@@ -1,0 +1,298 @@
+// Package gnn implements the message-passing models evaluated in the paper
+// (Appendix G): GCN, GraphSAGE, GAT, GRAT, and GIN, plus the probabilistic
+// penalty loss for influence maximization (Eq. 5, built on the Theorem 2
+// diffusion upper bound). Models are expressed over the autodiff tape so
+// DP-SGD (Algorithm 2) can obtain exact per-subgraph gradients.
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"privim/internal/autodiff"
+	"privim/internal/graph"
+	"privim/internal/nn"
+	"privim/internal/tensor"
+)
+
+// Kind selects a GNN architecture.
+type Kind string
+
+// Supported architectures. GRAT (source-normalized graph attention) is the
+// paper's default.
+const (
+	GCN       Kind = "gcn"
+	GraphSAGE Kind = "sage"
+	GAT       Kind = "gat"
+	GRAT      Kind = "grat"
+	GIN       Kind = "gin"
+)
+
+// AllKinds lists the architectures in the paper's Figure 9 order.
+func AllKinds() []Kind { return []Kind{GRAT, GraphSAGE, GCN, GAT, GIN} }
+
+// Config describes a model instance.
+type Config struct {
+	Kind      Kind
+	InputDim  int // node feature dimension d
+	HiddenDim int // paper: 32
+	Layers    int // paper: 3 (this is r, the GNN depth)
+	// LeakySlope is the LeakyReLU negative slope for attention scores
+	// (default 0.2 as in GAT).
+	LeakySlope float64
+	// Heads is the number of attention heads for GAT/GRAT (default 1).
+	// Heads share the layer projection and average their aggregations.
+	Heads int
+}
+
+func (c *Config) normalize() error {
+	switch c.Kind {
+	case GCN, GraphSAGE, GAT, GRAT, GIN:
+	default:
+		return fmt.Errorf("gnn: unknown kind %q", c.Kind)
+	}
+	if c.InputDim < 1 || c.HiddenDim < 1 || c.Layers < 1 {
+		return fmt.Errorf("gnn: invalid dims %+v", *c)
+	}
+	if c.LeakySlope == 0 {
+		c.LeakySlope = 0.2
+	}
+	if c.Heads == 0 {
+		c.Heads = 1
+	}
+	if c.Heads < 0 {
+		return fmt.Errorf("gnn: negative attention heads %d", c.Heads)
+	}
+	return nil
+}
+
+// Model is a GNN with trainable parameters. One Model is shared across all
+// subgraphs; Forward builds a fresh computation per subgraph.
+type Model struct {
+	Cfg    Config
+	Params *nn.ParamSet
+
+	index map[string]int // param name -> position in Params layout
+}
+
+// New constructs a model and registers its parameters (uninitialized; call
+// Init).
+func New(cfg Config) (*Model, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	m := &Model{Cfg: cfg, Params: nn.NewParamSet(), index: make(map[string]int)}
+	add := func(name string, rows, cols int) {
+		m.index[name] = len(m.Params.All())
+		m.Params.Add(name, rows, cols)
+	}
+	in := cfg.InputDim
+	for l := 0; l < cfg.Layers; l++ {
+		out := cfg.HiddenDim
+		switch cfg.Kind {
+		case GCN:
+			add(lname(l, "w"), in, out)
+		case GraphSAGE:
+			// Concatenated [self | mean-neighbors] projection.
+			add(lname(l, "w"), 2*in, out)
+		case GAT, GRAT:
+			add(lname(l, "w"), in, out)
+			for h := 0; h < cfg.Heads; h++ {
+				add(hname(l, h), 2*out, 1)
+			}
+		case GIN:
+			add(lname(l, "w1"), in, out)
+			add(lname(l, "w2"), out, out)
+			add(lname(l, "eps"), 1, 1)
+		}
+		add(lname(l, "b"), 1, out)
+		in = out
+	}
+	// Readout: [final hidden | raw features] -> scalar seed-probability
+	// logit. The skip connection to the raw features keeps degree-scale
+	// information available at inference even when normalized aggregation
+	// (e.g. GCN's symmetric normalization) attenuates it through the
+	// layers.
+	add("readout.w", in+cfg.InputDim, 1)
+	add("readout.b", 1, 1)
+	return m, nil
+}
+
+func lname(l int, part string) string { return fmt.Sprintf("layer%d.%s", l, part) }
+
+func hname(l, head int) string { return fmt.Sprintf("layer%d.attn%d", l, head) }
+
+// Init initializes all parameters (Glorot) deterministically from rng.
+func (m *Model) Init(rng *rand.Rand) { m.Params.GlorotInit(rng) }
+
+// node returns the bound tape node for a named parameter.
+func (m *Model) node(bound []*autodiff.Node, name string) *autodiff.Node {
+	i, ok := m.index[name]
+	if !ok {
+		panic("gnn: unknown parameter " + name)
+	}
+	return bound[i]
+}
+
+// edgeList materializes g's arcs v→u as (dst=u, src=v) slices with self
+// loops appended, the form attention layers consume.
+func edgeList(g *graph.Graph) (dst, src []int32) {
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for _, a := range g.In(graph.NodeID(u)) {
+			dst = append(dst, int32(u))
+			src = append(src, int32(a.To))
+		}
+	}
+	for u := 0; u < n; u++ {
+		dst = append(dst, int32(u))
+		src = append(src, int32(u))
+	}
+	return dst, src
+}
+
+// meanInAdjacency builds the row-normalized in-neighbor averaging operator
+// used by GraphSAGE.
+func meanInAdjacency(g *graph.Graph) *autodiff.SparseMat {
+	n := g.NumNodes()
+	var dst, src []int32
+	var w []float64
+	for u := 0; u < n; u++ {
+		in := g.In(graph.NodeID(u))
+		if len(in) == 0 {
+			continue
+		}
+		inv := 1 / float64(len(in))
+		for _, a := range in {
+			dst = append(dst, int32(u))
+			src = append(src, int32(a.To))
+			w = append(w, inv)
+		}
+	}
+	return autodiff.NewSparse(n, n, dst, src, w)
+}
+
+// sumInAdjacency builds the unweighted in-neighbor sum operator (GIN).
+func sumInAdjacency(g *graph.Graph) *autodiff.SparseMat {
+	n := g.NumNodes()
+	var dst, src []int32
+	var w []float64
+	for u := 0; u < n; u++ {
+		for _, a := range g.In(graph.NodeID(u)) {
+			dst = append(dst, int32(u))
+			src = append(src, int32(a.To))
+			w = append(w, 1)
+		}
+	}
+	return autodiff.NewSparse(n, n, dst, src, w)
+}
+
+// Forward runs the model on subgraph g with node features x (n×InputDim)
+// and returns the n×1 vector of seed-selection probabilities in (0,1).
+// bound must come from nn.Bind(tp, m.Params).
+func (m *Model) Forward(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.Graph, x *tensor.Matrix) *autodiff.Node {
+	if x.Rows != g.NumNodes() || x.Cols != m.Cfg.InputDim {
+		panic(fmt.Sprintf("gnn: Forward features %dx%d for graph with %d nodes, input dim %d",
+			x.Rows, x.Cols, g.NumNodes(), m.Cfg.InputDim))
+	}
+	h := tp.Leaf(x)
+	switch m.Cfg.Kind {
+	case GCN:
+		adj := autodiff.GCNNormalized(g)
+		for l := 0; l < m.Cfg.Layers; l++ {
+			agg := autodiff.SpMM(adj, h)
+			z := autodiff.MatMul(agg, m.node(bound, lname(l, "w")))
+			z = autodiff.AddRowBroadcast(z, m.node(bound, lname(l, "b")))
+			h = autodiff.ReLU(z)
+		}
+	case GraphSAGE:
+		adj := meanInAdjacency(g)
+		for l := 0; l < m.Cfg.Layers; l++ {
+			neigh := autodiff.SpMM(adj, h)
+			cat := autodiff.ConcatCols(h, neigh)
+			z := autodiff.MatMul(cat, m.node(bound, lname(l, "w")))
+			z = autodiff.AddRowBroadcast(z, m.node(bound, lname(l, "b")))
+			h = autodiff.ReLU(z)
+		}
+	case GAT, GRAT:
+		dst, src := edgeList(g)
+		// GAT normalizes attention over each destination's in-edges
+		// (Eq. 35); GRAT normalizes over each source's out-edges (Eq. 39),
+		// reducing the reward for overlapping coverage.
+		seg := dst
+		if m.Cfg.Kind == GRAT {
+			seg = src
+		}
+		n := g.NumNodes()
+		for l := 0; l < m.Cfg.Layers; l++ {
+			wh := autodiff.MatMul(h, m.node(bound, lname(l, "w")))
+			hd := autodiff.GatherRows(wh, dst)
+			hs := autodiff.GatherRows(wh, src)
+			cat := autodiff.ConcatCols(hd, hs)
+			// Each head computes its own attention distribution over the
+			// shared projection; head outputs are averaged.
+			var agg *autodiff.Node
+			for head := 0; head < m.Cfg.Heads; head++ {
+				e := autodiff.MatMul(cat, m.node(bound, hname(l, head)))
+				e = autodiff.LeakyReLU(e, m.Cfg.LeakySlope)
+				alpha := autodiff.SegmentSoftmax(e, seg, n)
+				msg := autodiff.MulColBroadcast(hs, alpha)
+				headAgg := autodiff.ScatterAddRows(msg, dst, n)
+				if agg == nil {
+					agg = headAgg
+				} else {
+					agg = autodiff.Add(agg, headAgg)
+				}
+			}
+			if m.Cfg.Heads > 1 {
+				agg = autodiff.Scale(agg, 1/float64(m.Cfg.Heads))
+			}
+			agg = autodiff.AddRowBroadcast(agg, m.node(bound, lname(l, "b")))
+			h = autodiff.ReLU(agg)
+		}
+	case GIN:
+		adj := sumInAdjacency(g)
+		for l := 0; l < m.Cfg.Layers; l++ {
+			neigh := autodiff.SpMM(adj, h)
+			// (1+ε)·h + Σ_neighbors h, with learnable scalar ε broadcast.
+			epsNode := m.node(bound, lname(l, "eps"))
+			scaled := scaleByScalarNode(h, epsNode)
+			z := autodiff.Add(autodiff.Add(h, scaled), neigh)
+			z = autodiff.MatMul(z, m.node(bound, lname(l, "w1")))
+			z = autodiff.ReLU(z)
+			z = autodiff.MatMul(z, m.node(bound, lname(l, "w2")))
+			z = autodiff.AddRowBroadcast(z, m.node(bound, lname(l, "b")))
+			h = autodiff.ReLU(z)
+		}
+	}
+	skip := autodiff.ConcatCols(h, tp.Leaf(x))
+	logits := autodiff.MatMul(skip, m.node(bound, "readout.w"))
+	logits = autodiff.AddRowBroadcast(logits, m.node(bound, "readout.b"))
+	return autodiff.Sigmoid(logits)
+}
+
+// scaleByScalarNode multiplies every element of x by the 1×1 node s,
+// differentiable in both (used for GIN's learnable ε).
+func scaleByScalarNode(x, s *autodiff.Node) *autodiff.Node {
+	// Broadcast s to x's shape via ones·s·onesᵀ trick: out = x ∘ (1·s·1ᵀ).
+	// Cheaper: Mul with a MatMul of ones. ones (rows×1) × s (1×1) = rows×1;
+	// then MulColBroadcast against x.
+	ones := tensor.New(x.Value.Rows, 1)
+	ones.Fill(1)
+	col := autodiff.MatMul(leafOn(x, ones), s) // rows×1 of ε
+	return autodiff.MulColBroadcast(x, col)
+}
+
+// leafOn adds a constant leaf to the same tape as n.
+func leafOn(n *autodiff.Node, m *tensor.Matrix) *autodiff.Node { return n.Tape().Leaf(m) }
+
+// Score runs a forward pass outside any training loop and returns the
+// plain seed probabilities for graph g.
+func (m *Model) Score(g *graph.Graph, x *tensor.Matrix) []float64 {
+	tp := autodiff.NewTape()
+	bound := nn.Bind(tp, m.Params)
+	out := m.Forward(tp, bound, g, x)
+	scores := make([]float64, g.NumNodes())
+	copy(scores, out.Value.Data)
+	return scores
+}

@@ -1,0 +1,84 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"privim/internal/dataset"
+	"privim/internal/graph"
+)
+
+// Theorem 2 (via Lemma 7 / Boole's inequality): the message-passing
+// aggregate min(Σ w·x, 1) upper-bounds the exact 1-step activation
+// probability 1 − Π(1 − w·x), for every node, on every graph and every
+// activation vector.
+func TestTheorem2BooleBoundHolds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := dataset.ErdosRenyi(25, 80, true, rng)
+		// Re-draw with random influence weights; activations in [0,1].
+		gw := graph.NewWithNodes(25, true)
+		for _, e := range g.Edges() {
+			gw.AddEdge(e.From, e.To, rng.Float64())
+		}
+		active := make([]float64, 25)
+		for i := range active {
+			active[i] = rng.Float64()
+		}
+		bound := BooleActivationBound(gw, active)
+		exact := ExactOneStepActivation(gw, active)
+		for u := range bound {
+			if bound[u] < exact[u]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem2BoundTightForSingleNeighbor(t *testing.T) {
+	// With one in-neighbor the Boole bound is exact: Σ = 1 − (1 − w·x).
+	g := graph.NewWithNodes(2, true)
+	g.AddEdge(0, 1, 0.35)
+	active := []float64{0.8, 0}
+	bound := BooleActivationBound(g, active)
+	exact := ExactOneStepActivation(g, active)
+	if math.Abs(bound[1]-exact[1]) > 1e-12 {
+		t.Fatalf("single-neighbor bound %v != exact %v", bound[1], exact[1])
+	}
+	if math.Abs(bound[1]-0.28) > 1e-12 {
+		t.Fatalf("bound = %v, want 0.28", bound[1])
+	}
+}
+
+func TestTheorem2BoundClampsAtOne(t *testing.T) {
+	// Many strong in-neighbors: the sum exceeds 1 and must clamp.
+	g := graph.NewWithNodes(4, true)
+	for v := 1; v < 4; v++ {
+		g.AddEdge(graph.NodeID(v), 0, 0.9)
+	}
+	active := []float64{0, 1, 1, 1}
+	bound := BooleActivationBound(g, active)
+	if bound[0] != 1 {
+		t.Fatalf("bound = %v, want clamp at 1", bound[0])
+	}
+	exact := ExactOneStepActivation(g, active)
+	if exact[0] >= 1 || exact[0] <= 0.99 {
+		t.Fatalf("exact = %v, want 1 − 0.1³", exact[0])
+	}
+}
+
+func TestBooleBoundValidation(t *testing.T) {
+	g := graph.NewWithNodes(3, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong activation length")
+		}
+	}()
+	BooleActivationBound(g, []float64{1})
+}

@@ -1,0 +1,47 @@
+package graph
+
+// CSR is a frozen compressed-sparse-row view of a graph's out-adjacency,
+// built once and shared read-only. The Monte Carlo diffusion hot path uses
+// it to avoid the pointer-chasing and bounds diversity of per-node slices:
+// arcs of node v occupy OutTo[OutStart[v]:OutStart[v+1]].
+type CSR struct {
+	NumNodes int
+	OutStart []int32
+	OutTo    []NodeID
+	OutW     []float64
+}
+
+// BuildCSR flattens g's out-adjacency into CSR form.
+func BuildCSR(g *Graph) *CSR {
+	n := g.NumNodes()
+	total := 0
+	for v := 0; v < n; v++ {
+		total += g.OutDegree(NodeID(v))
+	}
+	c := &CSR{
+		NumNodes: n,
+		OutStart: make([]int32, n+1),
+		OutTo:    make([]NodeID, 0, total),
+		OutW:     make([]float64, 0, total),
+	}
+	for v := 0; v < n; v++ {
+		c.OutStart[v] = int32(len(c.OutTo))
+		for _, a := range g.Out(NodeID(v)) {
+			c.OutTo = append(c.OutTo, a.To)
+			c.OutW = append(c.OutW, a.Weight)
+		}
+	}
+	c.OutStart[n] = int32(len(c.OutTo))
+	return c
+}
+
+// Out returns the arc targets and weights of node v as parallel slices.
+func (c *CSR) Out(v NodeID) ([]NodeID, []float64) {
+	s, e := c.OutStart[v], c.OutStart[v+1]
+	return c.OutTo[s:e], c.OutW[s:e]
+}
+
+// OutDegree returns node v's out-degree.
+func (c *CSR) OutDegree(v NodeID) int {
+	return int(c.OutStart[v+1] - c.OutStart[v])
+}

@@ -1,0 +1,276 @@
+// Package graph provides the directed weighted graph substrate used by the
+// PrivIM framework: adjacency-list graphs with influence-probability edge
+// weights, θ-bounded in-degree projection, r-hop neighborhoods, induced
+// subgraphs, and structural statistics.
+//
+// Graphs are directed (Definition 1 / §II-A of the paper); undirected inputs
+// are represented by storing both arc directions. Edge weights w(u,v) ∈ [0,1]
+// are Independent Cascade influence probabilities.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node within a Graph. IDs are dense: a graph with n
+// nodes uses IDs 0..n-1.
+type NodeID = int32
+
+// Edge is a directed arc u→v with influence probability Weight.
+type Edge struct {
+	From, To NodeID
+	Weight   float64
+}
+
+// Graph is a directed weighted graph stored as forward and reverse adjacency
+// lists. The zero value is an empty graph; use New or NewWithNodes to
+// construct one. Graph is not safe for concurrent mutation, but all read
+// methods may be used concurrently once construction is complete.
+type Graph struct {
+	// out[u] lists arcs leaving u; in[v] lists arcs entering v.
+	out [][]Arc
+	in  [][]Arc
+
+	numEdges int
+	directed bool
+}
+
+// Arc is one endpoint-weight pair in an adjacency list.
+type Arc struct {
+	To     NodeID
+	Weight float64
+}
+
+// New returns an empty graph. If directed is false, AddEdge inserts arcs in
+// both directions (but the edge is counted once in NumEdges).
+func New(directed bool) *Graph {
+	return &Graph{directed: directed}
+}
+
+// NewWithNodes returns a graph with n isolated nodes.
+func NewWithNodes(n int, directed bool) *Graph {
+	g := New(directed)
+	g.EnsureNodes(n)
+	return g
+}
+
+// Directed reports whether the graph was constructed as directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.out) }
+
+// NumEdges returns the number of logical edges: arcs for directed graphs,
+// undirected edges (stored as two arcs) for undirected graphs.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// EnsureNodes grows the graph so that it contains at least n nodes.
+func (g *Graph) EnsureNodes(n int) {
+	for len(g.out) < n {
+		g.out = append(g.out, nil)
+		g.in = append(g.in, nil)
+	}
+}
+
+// AddNode appends a new isolated node and returns its ID.
+func (g *Graph) AddNode() NodeID {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return NodeID(len(g.out) - 1)
+}
+
+// AddEdge inserts the edge u→v with weight w (and v→u for undirected
+// graphs). It panics if u or v is out of range or w is outside [0,1].
+// Parallel edges are permitted; callers that need simple graphs should use
+// HasEdge first or deduplicate with Simplify.
+func (g *Graph) AddEdge(u, v NodeID, w float64) {
+	if int(u) >= len(g.out) || int(v) >= len(g.out) || u < 0 || v < 0 {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0,%d)", u, v, len(g.out)))
+	}
+	if w < 0 || w > 1 || math.IsNaN(w) {
+		panic(fmt.Sprintf("graph: AddEdge weight %v outside [0,1]", w))
+	}
+	g.out[u] = append(g.out[u], Arc{To: v, Weight: w})
+	g.in[v] = append(g.in[v], Arc{To: u, Weight: w})
+	if !g.directed && u != v {
+		g.out[v] = append(g.out[v], Arc{To: u, Weight: w})
+		g.in[u] = append(g.in[u], Arc{To: v, Weight: w})
+	}
+	g.numEdges++
+}
+
+// HasEdge reports whether at least one arc u→v exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	for _, a := range g.out[u] {
+		if a.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Weight returns the weight of the first arc u→v and whether it exists.
+func (g *Graph) Weight(u, v NodeID) (float64, bool) {
+	for _, a := range g.out[u] {
+		if a.To == v {
+			return a.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// Out returns the arcs leaving u. The returned slice is owned by the graph
+// and must not be modified.
+func (g *Graph) Out(u NodeID) []Arc { return g.out[u] }
+
+// In returns the arcs entering v. The returned slice is owned by the graph
+// and must not be modified.
+func (g *Graph) In(v NodeID) []Arc { return g.in[v] }
+
+// OutDegree returns the number of arcs leaving u.
+func (g *Graph) OutDegree(u NodeID) int { return len(g.out[u]) }
+
+// InDegree returns the number of arcs entering v.
+func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// Edges returns all logical edges in deterministic order (sorted by source,
+// then insertion order). For undirected graphs each edge is reported once,
+// oriented from its first insertion endpoint.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.numEdges)
+	if g.directed {
+		for u := range g.out {
+			for _, a := range g.out[u] {
+				edges = append(edges, Edge{From: NodeID(u), To: a.To, Weight: a.Weight})
+			}
+		}
+		return edges
+	}
+	// Undirected: report u<=v orientation once. Self loops appear once by
+	// construction.
+	for u := range g.out {
+		for _, a := range g.out[u] {
+			if NodeID(u) <= a.To {
+				edges = append(edges, Edge{From: NodeID(u), To: a.To, Weight: a.Weight})
+			}
+		}
+	}
+	return edges
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		out:      make([][]Arc, len(g.out)),
+		in:       make([][]Arc, len(g.in)),
+		numEdges: g.numEdges,
+		directed: g.directed,
+	}
+	for i := range g.out {
+		c.out[i] = append([]Arc(nil), g.out[i]...)
+		c.in[i] = append([]Arc(nil), g.in[i]...)
+	}
+	return c
+}
+
+// SetUniformWeights overwrites every arc weight with w.
+func (g *Graph) SetUniformWeights(w float64) {
+	if w < 0 || w > 1 {
+		panic("graph: SetUniformWeights outside [0,1]")
+	}
+	for u := range g.out {
+		for i := range g.out[u] {
+			g.out[u][i].Weight = w
+		}
+		for i := range g.in[u] {
+			g.in[u][i].Weight = w
+		}
+	}
+}
+
+// SetWeightedCascade assigns each arc u→v the weight 1/indegree(v), the
+// standard Weighted Cascade parametrization of the IC model.
+func (g *Graph) SetWeightedCascade() {
+	for u := range g.out {
+		for i := range g.out[u] {
+			v := g.out[u][i].To
+			g.out[u][i].Weight = 1 / float64(len(g.in[v]))
+		}
+	}
+	for v := range g.in {
+		w := 1 / float64(len(g.in[v]))
+		for i := range g.in[v] {
+			g.in[v][i].Weight = w
+		}
+	}
+}
+
+// Stats summarises a graph's structure (Table I columns).
+type Stats struct {
+	Nodes     int
+	Edges     int
+	Directed  bool
+	AvgDegree float64 // mean out-degree for directed, mean degree for undirected
+	MaxIn     int
+	MaxOut    int
+}
+
+// ComputeStats returns structural statistics for g.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges(), Directed: g.directed}
+	if s.Nodes == 0 {
+		return s
+	}
+	totalOut := 0
+	for u := range g.out {
+		totalOut += len(g.out[u])
+		if len(g.out[u]) > s.MaxOut {
+			s.MaxOut = len(g.out[u])
+		}
+		if len(g.in[u]) > s.MaxIn {
+			s.MaxIn = len(g.in[u])
+		}
+	}
+	s.AvgDegree = float64(totalOut) / float64(s.Nodes)
+	return s
+}
+
+// String implements fmt.Stringer with a compact structural summary.
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("graph(%s, |V|=%d, |E|=%d)", kind, g.NumNodes(), g.NumEdges())
+}
+
+// Simplify returns a copy of g with parallel arcs merged (keeping the
+// maximum weight) and self-loops removed.
+func (g *Graph) Simplify() *Graph {
+	s := NewWithNodes(g.NumNodes(), g.directed)
+	seen := make(map[int64]float64)
+	key := func(u, v NodeID) int64 { return int64(u)<<32 | int64(uint32(v)) }
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			continue
+		}
+		k := key(e.From, e.To)
+		if !g.directed && e.From > e.To {
+			k = key(e.To, e.From)
+		}
+		if w, ok := seen[k]; !ok || e.Weight > w {
+			seen[k] = e.Weight
+		}
+	}
+	keys := make([]int64, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		s.AddEdge(NodeID(k>>32), NodeID(uint32(k)), seen[k])
+	}
+	return s
+}

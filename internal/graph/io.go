@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in a whitespace-separated "u v w" text format with
+// a header comment recording node count and directedness. The format round
+// trips through ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	dir := 0
+	if g.Directed() {
+		dir = 1
+	}
+	if _, err := fmt.Fprintf(bw, "# privim-edgelist nodes=%d directed=%d\n", g.NumNodes(), dir); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.From, e.To, e.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
+// with '#' other than the header are ignored; the weight column is optional
+// and defaults to 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var g *Graph
+	nodes, directed := 0, true
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.Contains(line, "privim-edgelist") {
+				for _, tok := range strings.Fields(line) {
+					if v, ok := strings.CutPrefix(tok, "nodes="); ok {
+						n, err := strconv.Atoi(v)
+						if err != nil {
+							return nil, fmt.Errorf("graph: line %d: bad nodes=%q", lineNo, v)
+						}
+						nodes = n
+					}
+					if v, ok := strings.CutPrefix(tok, "directed="); ok {
+						directed = v != "0"
+					}
+				}
+			}
+			continue
+		}
+		if g == nil {
+			g = NewWithNodes(nodes, directed)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v [w]', got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil || u < 0 {
+			return nil, fmt.Errorf("graph: line %d: bad source %q", lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: bad target %q", lineNo, fields[1])
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil || math.IsNaN(w) || w < 0 || w > 1 {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q (want [0,1])", lineNo, fields[2])
+			}
+		}
+		if max := u; true {
+			if v > max {
+				max = v
+			}
+			g.EnsureNodes(max + 1)
+		}
+		g.AddEdge(NodeID(u), NodeID(v), w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		g = NewWithNodes(nodes, directed)
+	}
+	return g, nil
+}

@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegreeHistogram(t *testing.T) {
+	g := NewWithNodes(4, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 1)
+	hist := DegreeHistogram(g)
+	// deg 0: nodes 2, 3; deg 1: node 1; deg 2: node 0.
+	want := []int{2, 1, 1}
+	if len(hist) != 3 {
+		t.Fatalf("hist length %d, want 3", len(hist))
+	}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Fatalf("hist = %v, want %v", hist, want)
+		}
+	}
+}
+
+func TestClusteringCoefficientTriangle(t *testing.T) {
+	// Complete triangle: every node's two neighbors are connected, C = 1.
+	g := NewWithNodes(3, false)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	if c := ClusteringCoefficient(g); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("triangle clustering = %v, want 1", c)
+	}
+	// Path: middle node's neighbors not connected, C = 0.
+	p := NewWithNodes(3, false)
+	p.AddEdge(0, 1, 1)
+	p.AddEdge(1, 2, 1)
+	if c := ClusteringCoefficient(p); c != 0 {
+		t.Fatalf("path clustering = %v, want 0", c)
+	}
+	if ClusteringCoefficient(New(false)) != 0 {
+		t.Fatal("empty graph clustering should be 0")
+	}
+}
+
+func TestClusteringDistinguishesWSFromER(t *testing.T) {
+	// Small-world graphs cluster far more than ER at equal density — the
+	// property that motivates the Facebook preset's WS model.
+	// Ring lattice (WS beta=0): k=4 lattice has C = 0.5.
+	n := 100
+	ws := NewWithNodes(n, false)
+	for u := 0; u < n; u++ {
+		ws.AddEdge(NodeID(u), NodeID((u+1)%n), 1)
+		ws.AddEdge(NodeID(u), NodeID((u+2)%n), 1)
+	}
+	cWS := ClusteringCoefficient(ws)
+	if math.Abs(cWS-0.5) > 1e-9 {
+		t.Fatalf("lattice clustering = %v, want 0.5", cWS)
+	}
+}
+
+func TestReciprocity(t *testing.T) {
+	g := NewWithNodes(3, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 1) // reciprocated pair
+	g.AddEdge(1, 2, 1) // one-way
+	if r := Reciprocity(g); math.Abs(r-2.0/3) > 1e-12 {
+		t.Fatalf("reciprocity = %v, want 2/3", r)
+	}
+	if Reciprocity(New(true)) != 0 {
+		t.Fatal("edgeless reciprocity should be 0")
+	}
+	u := NewWithNodes(2, false)
+	u.AddEdge(0, 1, 1)
+	if Reciprocity(u) != 1 {
+		t.Fatal("undirected reciprocity should be 1")
+	}
+}
+
+func TestKCoreKnownGraphs(t *testing.T) {
+	// K4 plus a pendant: K4 nodes have core 3, pendant core 1.
+	g := NewWithNodes(5, false)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(NodeID(i), NodeID(j), 1)
+		}
+	}
+	g.AddEdge(0, 4, 1)
+	core := KCore(g)
+	for v := 0; v < 4; v++ {
+		if core[v] != 3 {
+			t.Fatalf("K4 node %d core = %d, want 3 (all: %v)", v, core[v], core)
+		}
+	}
+	if core[4] != 1 {
+		t.Fatalf("pendant core = %d, want 1", core[4])
+	}
+	if Degeneracy(g) != 3 {
+		t.Fatalf("degeneracy = %d, want 3", Degeneracy(g))
+	}
+}
+
+func TestKCoreStar(t *testing.T) {
+	// Star K1,5: every node (including the hub) has core 1.
+	g := NewWithNodes(6, false)
+	for v := 1; v < 6; v++ {
+		g.AddEdge(0, NodeID(v), 1)
+	}
+	for v, c := range KCore(g) {
+		if c != 1 {
+			t.Fatalf("star node %d core = %d, want 1", v, c)
+		}
+	}
+}
+
+func TestKCoreEmptyAndIsolated(t *testing.T) {
+	if len(KCore(New(false))) != 0 {
+		t.Fatal("empty graph should have no cores")
+	}
+	g := NewWithNodes(3, true)
+	for _, c := range KCore(g) {
+		if c != 0 {
+			t.Fatalf("isolated nodes must have core 0, got %v", KCore(g))
+		}
+	}
+	if Degeneracy(g) != 0 {
+		t.Fatal("isolated degeneracy should be 0")
+	}
+}
+
+// Property: every node's core number is at most its weak degree, and the
+// k-core subgraph induced by {v : core(v) >= k} has min weak degree >= k
+// within it for k = degeneracy.
+func TestKCoreProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30
+		g := NewWithNodes(n, false)
+		for i := 0; i < 60; i++ {
+			u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v, 1)
+			}
+		}
+		core := KCore(g)
+		weakDeg := func(v NodeID, members map[NodeID]bool) int {
+			seen := map[NodeID]bool{}
+			for _, a := range g.Out(v) {
+				if a.To != v && (members == nil || members[a.To]) {
+					seen[a.To] = true
+				}
+			}
+			for _, a := range g.In(v) {
+				if a.To != v && (members == nil || members[a.To]) {
+					seen[a.To] = true
+				}
+			}
+			return len(seen)
+		}
+		k := 0
+		for v := 0; v < n; v++ {
+			if core[v] > weakDeg(NodeID(v), nil) {
+				return false
+			}
+			if core[v] > k {
+				k = core[v]
+			}
+		}
+		if k == 0 {
+			return true
+		}
+		members := map[NodeID]bool{}
+		for v := 0; v < n; v++ {
+			if core[v] >= k {
+				members[NodeID(v)] = true
+			}
+		}
+		for v := range members {
+			if weakDeg(v, members) < k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,405 @@
+// Package im implements the classical influence-maximization solvers the
+// paper compares against: CELF lazy greedy (the ground truth with its
+// (1−1/e) guarantee, §V-A), plain greedy, degree and degree-discount
+// heuristics, and an RIS (reverse-influence-sampling) baseline. It also
+// provides the coverage-ratio metric used throughout the evaluation.
+package im
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"privim/internal/diffusion"
+	"privim/internal/graph"
+)
+
+// Solver selects a seed set of size k for a diffusion model.
+type Solver interface {
+	// Select returns k seed nodes (fewer if the graph is smaller).
+	Select(k int) []graph.NodeID
+	// Name identifies the solver for reporting.
+	Name() string
+}
+
+// celfEntry is one lazy-greedy priority-queue element.
+type celfEntry struct {
+	node graph.NodeID
+	gain float64
+	// round is the greedy iteration at which gain was last evaluated;
+	// a gain is exact only if round equals the current iteration.
+	round int
+}
+
+type celfQueue []*celfEntry
+
+func (q celfQueue) Len() int            { return len(q) }
+func (q celfQueue) Less(i, j int) bool  { return q[i].gain > q[j].gain }
+func (q celfQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *celfQueue) Push(x interface{}) { *q = append(*q, x.(*celfEntry)) }
+func (q *celfQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// CELF is the cost-effective lazy-forward greedy solver. It exploits
+// submodularity of the spread function: a node's marginal gain can only
+// shrink as the seed set grows, so stale queue entries are upper bounds and
+// most re-evaluations are skipped.
+type CELF struct {
+	Model diffusion.Model
+	// Rounds Monte Carlo simulations per spread estimate.
+	Rounds int
+	// Seed drives the simulation RNG streams.
+	Seed int64
+	// Candidates restricts seed selection to these nodes (nil = all nodes).
+	Candidates []graph.NodeID
+	// numNodes is required when Candidates is nil.
+	NumNodes int
+
+	// Evaluations counts spread estimates performed by the last Select call
+	// (exported for the lazy-evaluation efficiency tests).
+	Evaluations int
+}
+
+// Name implements Solver.
+func (c *CELF) Name() string { return "celf" }
+
+// Select implements Solver.
+func (c *CELF) Select(k int) []graph.NodeID {
+	cands := c.Candidates
+	if cands == nil {
+		cands = make([]graph.NodeID, c.NumNodes)
+		for i := range cands {
+			cands[i] = graph.NodeID(i)
+		}
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	if k <= 0 {
+		return nil
+	}
+	rounds := c.Rounds
+	if rounds < 1 {
+		rounds = 100
+	}
+	c.Evaluations = 0
+	spread := func(seeds []graph.NodeID) float64 {
+		c.Evaluations++
+		return diffusion.Estimate(c.Model, seeds, rounds, c.Seed)
+	}
+
+	// Initial pass: evaluate every candidate's solo spread.
+	q := make(celfQueue, 0, len(cands))
+	for _, v := range cands {
+		q = append(q, &celfEntry{node: v, gain: spread([]graph.NodeID{v}), round: 0})
+	}
+	heap.Init(&q)
+
+	seeds := make([]graph.NodeID, 0, k)
+	base := 0.0
+	for len(seeds) < k && q.Len() > 0 {
+		top := heap.Pop(&q).(*celfEntry)
+		if top.round == len(seeds) {
+			// Gain is exact for the current seed set: take it.
+			seeds = append(seeds, top.node)
+			base += top.gain
+			continue
+		}
+		// Stale: re-evaluate against the current seed set and push back.
+		cur := spread(append(append([]graph.NodeID{}, seeds...), top.node))
+		top.gain = cur - base
+		top.round = len(seeds)
+		heap.Push(&q, top)
+	}
+	return seeds
+}
+
+// Greedy is the plain (non-lazy) greedy solver; kept as the correctness
+// oracle for CELF in tests.
+type Greedy struct {
+	Model    diffusion.Model
+	Rounds   int
+	Seed     int64
+	NumNodes int
+}
+
+// Name implements Solver.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Select implements Solver.
+func (g *Greedy) Select(k int) []graph.NodeID {
+	if k > g.NumNodes {
+		k = g.NumNodes
+	}
+	rounds := g.Rounds
+	if rounds < 1 {
+		rounds = 100
+	}
+	chosen := make(map[graph.NodeID]bool, k)
+	seeds := make([]graph.NodeID, 0, k)
+	for len(seeds) < k {
+		bestGain := -1.0
+		var best graph.NodeID
+		for v := 0; v < g.NumNodes; v++ {
+			if chosen[graph.NodeID(v)] {
+				continue
+			}
+			cand := append(append([]graph.NodeID{}, seeds...), graph.NodeID(v))
+			gain := diffusion.Estimate(g.Model, cand, rounds, g.Seed)
+			if gain > bestGain {
+				bestGain = gain
+				best = graph.NodeID(v)
+			}
+		}
+		chosen[best] = true
+		seeds = append(seeds, best)
+	}
+	return seeds
+}
+
+// Degree selects the k highest out-degree nodes — the classic cheap
+// heuristic.
+type Degree struct {
+	G *graph.Graph
+}
+
+// Name implements Solver.
+func (d *Degree) Name() string { return "degree" }
+
+// Select implements Solver.
+func (d *Degree) Select(k int) []graph.NodeID {
+	return topKBy(d.G.NumNodes(), k, func(v graph.NodeID) float64 {
+		return float64(d.G.OutDegree(v))
+	})
+}
+
+// DegreeDiscount implements the degree-discount heuristic (Chen et al.):
+// after picking a node, its neighbors' effective degrees are discounted to
+// correct for overlapping coverage.
+type DegreeDiscount struct {
+	G *graph.Graph
+	// P is the propagation probability used in the discount formula
+	// (defaults to 0.1 when zero).
+	P float64
+}
+
+// Name implements Solver.
+func (d *DegreeDiscount) Name() string { return "degree-discount" }
+
+// Select implements Solver.
+func (d *DegreeDiscount) Select(k int) []graph.NodeID {
+	p := d.P
+	if p == 0 {
+		p = 0.1
+	}
+	n := d.G.NumNodes()
+	if k > n {
+		k = n
+	}
+	dd := make([]float64, n)  // discounted degree
+	tv := make([]int, n)      // number of selected in-neighbors
+	chosen := make([]bool, n) //
+	deg := make([]float64, n) // original out-degree
+	for v := 0; v < n; v++ {
+		deg[v] = float64(d.G.OutDegree(graph.NodeID(v)))
+		dd[v] = deg[v]
+	}
+	seeds := make([]graph.NodeID, 0, k)
+	for len(seeds) < k {
+		best, bestVal := -1, -1.0
+		for v := 0; v < n; v++ {
+			if !chosen[v] && dd[v] > bestVal {
+				best, bestVal = v, dd[v]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+		seeds = append(seeds, graph.NodeID(best))
+		for _, a := range d.G.Out(graph.NodeID(best)) {
+			v := int(a.To)
+			if chosen[v] {
+				continue
+			}
+			tv[v]++
+			t := float64(tv[v])
+			dd[v] = deg[v] - 2*t - (deg[v]-t)*t*p
+		}
+	}
+	return seeds
+}
+
+// RIS is the reverse-influence-sampling baseline: it generates random
+// reverse-reachable (RR) sets under the IC model and greedily picks seeds
+// covering the most RR sets (max-coverage), the core of TIM/IMM.
+type RIS struct {
+	G *graph.Graph
+	// Samples is the number of RR sets (defaults to 10·|V| when zero).
+	Samples int
+	// MaxDepth bounds the reverse BFS depth of each RR set (0 =
+	// unbounded), matching a step-bounded IC evaluation such as the
+	// paper's j=1 setting.
+	MaxDepth int
+	Seed     int64
+}
+
+// Name implements Solver.
+func (r *RIS) Name() string { return "ris" }
+
+// Select implements Solver.
+func (r *RIS) Select(k int) []graph.NodeID {
+	n := r.G.NumNodes()
+	if k > n {
+		k = n
+	}
+	samples := r.Samples
+	if samples < 1 {
+		samples = 10 * n
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	// Build RR sets: from a uniform target, walk reverse arcs, keeping each
+	// with its influence probability.
+	rrSets := make([][]graph.NodeID, samples)
+	coverOf := make([][]int32, n) // node -> RR-set indices it appears in
+	for i := 0; i < samples; i++ {
+		target := graph.NodeID(rng.Intn(n))
+		set := reverseReachable(r.G, target, r.MaxDepth, rng)
+		rrSets[i] = set
+		for _, v := range set {
+			coverOf[v] = append(coverOf[v], int32(i))
+		}
+	}
+	// Greedy max coverage over the RR sets.
+	covered := make([]bool, samples)
+	count := make([]int, n)
+	for v := 0; v < n; v++ {
+		count[v] = len(coverOf[v])
+	}
+	seeds := make([]graph.NodeID, 0, k)
+	for len(seeds) < k {
+		best, bestVal := -1, -1
+		for v := 0; v < n; v++ {
+			if count[v] > bestVal {
+				best, bestVal = v, count[v]
+			}
+		}
+		if best < 0 || bestVal == 0 {
+			// All RR sets covered; fill remaining slots by degree for
+			// determinism.
+			for v := 0; v < n && len(seeds) < k; v++ {
+				if count[v] >= 0 {
+					dup := false
+					for _, s := range seeds {
+						if s == graph.NodeID(v) {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						seeds = append(seeds, graph.NodeID(v))
+					}
+				}
+			}
+			break
+		}
+		seeds = append(seeds, graph.NodeID(best))
+		for _, si := range coverOf[best] {
+			if covered[si] {
+				continue
+			}
+			covered[si] = true
+			for _, v := range rrSets[si] {
+				count[v]--
+			}
+		}
+		count[best] = -1 // never re-pick
+	}
+	return seeds
+}
+
+// reverseReachable samples one reverse-reachable set from target: a BFS
+// over in-arcs keeping each arc with its influence probability, optionally
+// depth-bounded (maxDepth 0 = unbounded).
+func reverseReachable(g *graph.Graph, target graph.NodeID, maxDepth int, rng *rand.Rand) []graph.NodeID {
+	seen := map[graph.NodeID]bool{target: true}
+	frontier := []graph.NodeID{target}
+	set := []graph.NodeID{target}
+	for depth := 0; len(frontier) > 0; depth++ {
+		if maxDepth > 0 && depth >= maxDepth {
+			break
+		}
+		var next []graph.NodeID
+		for _, u := range frontier {
+			for _, a := range g.In(u) {
+				if seen[a.To] {
+					continue
+				}
+				if rng.Float64() < a.Weight {
+					seen[a.To] = true
+					next = append(next, a.To)
+					set = append(set, a.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return set
+}
+
+// topKBy returns the k node IDs with the highest score, ties broken by ID
+// for determinism.
+func topKBy(n, k int, score func(graph.NodeID) float64) []graph.NodeID {
+	if k > n {
+		k = n
+	}
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		si, sj := score(ids[i]), score(ids[j])
+		if si != sj {
+			return si > sj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids[:k]
+}
+
+// TopKScores returns the k highest-scoring node IDs from a dense score
+// vector (the seed-selection step after GNN inference).
+func TopKScores(scores []float64, k int) []graph.NodeID {
+	return topKBy(len(scores), k, func(v graph.NodeID) float64 { return scores[v] })
+}
+
+// CoverageRatio is the paper's metric |V_method| / |V_CELF| expressed in
+// percent. Returns 0 when the reference spread is 0.
+func CoverageRatio(methodSpread, celfSpread float64) float64 {
+	if celfSpread <= 0 {
+		return 0
+	}
+	return 100 * methodSpread / celfSpread
+}
+
+// ValidateSeeds checks a seed set for duplicates and range errors; solvers'
+// outputs are passed through this in tests.
+func ValidateSeeds(seeds []graph.NodeID, numNodes int) error {
+	seen := make(map[graph.NodeID]bool, len(seeds))
+	for _, s := range seeds {
+		if int(s) < 0 || int(s) >= numNodes {
+			return fmt.Errorf("im: seed %d out of range [0,%d)", s, numNodes)
+		}
+		if seen[s] {
+			return fmt.Errorf("im: duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package im
+
+import (
+	"math"
+	"math/rand"
+
+	"privim/internal/graph"
+)
+
+// IMM implements Influence Maximization via Martingales (Tang, Shi, Xiao —
+// SIGMOD 2015), the sampling-based state of the art the paper cites as
+// [28]. It estimates a lower bound on the optimal spread with a
+// geometric-search sampling phase, derives the required number of
+// reverse-reachable sets for a (1 − 1/e − ε) approximation with
+// probability 1 − 1/n^ℓ, and greedily max-covers those sets.
+type IMM struct {
+	G *graph.Graph
+	// Epsilon is the approximation slack ε (default 0.3).
+	Epsilon float64
+	// Ell is the failure-probability exponent ℓ (default 1).
+	Ell float64
+	// MaxDepth bounds RR-set depth (0 = unbounded); set it to the
+	// evaluation's step bound for step-limited IC objectives.
+	MaxDepth int
+	Seed     int64
+
+	// MaxSamples caps RR-set generation as a safety valve for tiny or
+	// degenerate graphs (default 200·|V|).
+	MaxSamples int
+}
+
+// Name implements Solver.
+func (s *IMM) Name() string { return "imm" }
+
+// rrSets generates count reverse-reachable sets (appending to the given
+// coverage index) and returns the updated collection.
+type rrIndex struct {
+	sets    [][]graph.NodeID
+	coverOf [][]int32
+}
+
+func newRRIndex(n int) *rrIndex {
+	return &rrIndex{coverOf: make([][]int32, n)}
+}
+
+func (ix *rrIndex) generate(g *graph.Graph, count, maxDepth int, rng *rand.Rand) {
+	n := g.NumNodes()
+	for i := 0; i < count; i++ {
+		target := graph.NodeID(rng.Intn(n))
+		set := reverseReachable(g, target, maxDepth, rng)
+		id := int32(len(ix.sets))
+		ix.sets = append(ix.sets, set)
+		for _, v := range set {
+			ix.coverOf[v] = append(ix.coverOf[v], id)
+		}
+	}
+}
+
+// maxCover greedily picks k nodes covering the most RR sets and returns
+// them with the covered fraction.
+func (ix *rrIndex) maxCover(n, k int) ([]graph.NodeID, float64) {
+	covered := make([]bool, len(ix.sets))
+	count := make([]int, n)
+	for v := 0; v < n; v++ {
+		count[v] = len(ix.coverOf[v])
+	}
+	seeds := make([]graph.NodeID, 0, k)
+	totalCovered := 0
+	for len(seeds) < k && len(seeds) < n {
+		best, bestVal := -1, 0
+		for v := 0; v < n; v++ {
+			if count[v] > bestVal {
+				best, bestVal = v, count[v]
+			}
+		}
+		if best < 0 || bestVal == 0 {
+			// Everything covered: fill arbitrarily but deterministically.
+			for v := 0; v < n && len(seeds) < k; v++ {
+				if count[v] >= 0 {
+					seeds = append(seeds, graph.NodeID(v))
+					count[v] = -1
+				}
+			}
+			break
+		}
+		seeds = append(seeds, graph.NodeID(best))
+		for _, si := range ix.coverOf[best] {
+			if !covered[si] {
+				covered[si] = true
+				totalCovered++
+				for _, v := range ix.sets[si] {
+					if count[v] > 0 {
+						count[v]--
+					}
+				}
+			}
+		}
+		count[best] = -1
+	}
+	if len(ix.sets) == 0 {
+		return seeds, 0
+	}
+	return seeds, float64(totalCovered) / float64(len(ix.sets))
+}
+
+// Select implements Solver following IMM's two phases.
+func (s *IMM) Select(k int) []graph.NodeID {
+	n := s.G.NumNodes()
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	eps := s.Epsilon
+	if eps <= 0 || eps >= 1 {
+		eps = 0.3
+	}
+	ell := s.Ell
+	if ell <= 0 {
+		ell = 1
+	}
+	maxSamples := s.MaxSamples
+	if maxSamples <= 0 {
+		maxSamples = 200 * n
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	fn := float64(n)
+	logChooseNK := logChooseF(n, k)
+
+	// Phase 1 (sampling): geometric search for a lower bound on OPT.
+	epsPrime := math.Sqrt2 * eps
+	lambdaPrime := (2 + 2*epsPrime/3) *
+		(logChooseNK + ell*math.Log(fn) + math.Log(math.Log2(fn))) * fn / (epsPrime * epsPrime)
+	ix := newRRIndex(n)
+	lb := 1.0
+	maxI := int(math.Log2(fn))
+	if maxI < 1 {
+		maxI = 1
+	}
+	for i := 1; i < maxI; i++ {
+		x := fn / math.Pow(2, float64(i))
+		thetaI := int(lambdaPrime / x)
+		if thetaI > maxSamples {
+			thetaI = maxSamples
+		}
+		if need := thetaI - len(ix.sets); need > 0 {
+			ix.generate(s.G, need, s.MaxDepth, rng)
+		}
+		_, frac := ix.maxCover(n, k)
+		if fn*frac >= (1+epsPrime)*x {
+			lb = fn * frac / (1 + epsPrime)
+			break
+		}
+		if len(ix.sets) >= maxSamples {
+			break
+		}
+	}
+
+	// Phase 2: θ = λ*/LB samples for the final guarantee.
+	alpha := math.Sqrt(ell*math.Log(fn) + math.Log(2))
+	beta := math.Sqrt((1 - 1/math.E) * (logChooseNK + ell*math.Log(fn) + math.Log(2)))
+	lambdaStar := 2 * fn * math.Pow((1-1/math.E)*alpha+beta, 2) / (eps * eps)
+	theta := int(lambdaStar / lb)
+	if theta > maxSamples {
+		theta = maxSamples
+	}
+	if need := theta - len(ix.sets); need > 0 {
+		ix.generate(s.G, need, s.MaxDepth, rng)
+	}
+	seeds, _ := ix.maxCover(n, k)
+	return seeds
+}
+
+// logChooseF returns log C(n, k) via log-gamma (float inputs for the IMM
+// formulas).
+func logChooseF(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

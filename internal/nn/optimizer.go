@@ -1,0 +1,88 @@
+package nn
+
+import "math"
+
+// Optimizer updates a ParamSet from a gradient snapshot.
+type Optimizer interface {
+	// Step applies one update. grads must match the ParamSet layout the
+	// optimizer was constructed with.
+	Step(grads *Grads)
+}
+
+// SGD is plain (optionally momentum) stochastic gradient descent:
+// v ← µv + g; W ← W − η·v.
+type SGD struct {
+	ps       *ParamSet
+	LR       float64
+	Momentum float64
+	velocity *Grads
+}
+
+// NewSGD returns an SGD optimizer over ps.
+func NewSGD(ps *ParamSet, lr, momentum float64) *SGD {
+	s := &SGD{ps: ps, LR: lr, Momentum: momentum}
+	if momentum > 0 {
+		s.velocity = NewGrads(ps)
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(grads *Grads) {
+	if s.velocity == nil {
+		for i, p := range s.ps.params {
+			g := grads.mats[i]
+			for k := range p.Value.Data {
+				p.Value.Data[k] -= s.LR * g.Data[k]
+			}
+		}
+		return
+	}
+	for i, p := range s.ps.params {
+		g := grads.mats[i]
+		v := s.velocity.mats[i]
+		for k := range p.Value.Data {
+			v.Data[k] = s.Momentum*v.Data[k] + g.Data[k]
+			p.Value.Data[k] -= s.LR * v.Data[k]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer with bias correction.
+type Adam struct {
+	ps           *ParamSet
+	LR           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	m, v         *Grads
+	t            int
+}
+
+// NewAdam returns an Adam optimizer with standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(ps *ParamSet, lr float64) *Adam {
+	return &Adam{
+		ps: ps, LR: lr,
+		Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: NewGrads(ps), v: NewGrads(ps),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(grads *Grads) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.ps.params {
+		g := grads.mats[i]
+		m := a.m.mats[i]
+		v := a.v.mats[i]
+		for k := range p.Value.Data {
+			m.Data[k] = a.Beta1*m.Data[k] + (1-a.Beta1)*g.Data[k]
+			v.Data[k] = a.Beta2*v.Data[k] + (1-a.Beta2)*g.Data[k]*g.Data[k]
+			mhat := m.Data[k] / c1
+			vhat := v.Data[k] / c2
+			p.Value.Data[k] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}

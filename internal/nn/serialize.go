@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization format: a small header, then per-parameter records of
+// (name, rows, cols, row-major float64 data), little endian throughout.
+// The format is versioned so checkpoints survive library upgrades.
+const (
+	serializeMagic   = "PRIVIMP1"
+	serializeVersion = uint32(1)
+)
+
+// WriteTo serializes the parameter set. It returns the byte count written.
+func (ps *ParamSet) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(serializeMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(serializeMagic))
+	if err := write(serializeVersion); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(ps.params))); err != nil {
+		return n, err
+	}
+	for _, p := range ps.params {
+		name := []byte(p.Name)
+		if err := write(uint32(len(name))); err != nil {
+			return n, err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return n, err
+		}
+		n += int64(len(name))
+		if err := write(uint32(p.Value.Rows)); err != nil {
+			return n, err
+		}
+		if err := write(uint32(p.Value.Cols)); err != nil {
+			return n, err
+		}
+		for _, v := range p.Value.Data {
+			if err := write(math.Float64bits(v)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadInto deserializes parameters written by WriteTo into ps, which must
+// have the identical layout (names, order, shapes). This is the checkpoint
+// restore path: construct the model first, then load weights.
+func (ps *ParamSet) ReadInto(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(serializeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != serializeMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != serializeVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	if int(count) != len(ps.params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", count, len(ps.params))
+	}
+	for _, p := range ps.params {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		if nameLen > 1<<16 {
+			return fmt.Errorf("nn: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: checkpoint param %q does not match model param %q", name, p.Name)
+		}
+		var rows, cols uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return err
+		}
+		if int(rows) != p.Value.Rows || int(cols) != p.Value.Cols {
+			return fmt.Errorf("nn: checkpoint shape %dx%d for %q, model wants %dx%d",
+				rows, cols, p.Name, p.Value.Rows, p.Value.Cols)
+		}
+		for i := range p.Value.Data {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return err
+			}
+			p.Value.Data[i] = math.Float64frombits(bits)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func buildParams(t *testing.T, init bool) *ParamSet {
+	t.Helper()
+	ps := NewParamSet()
+	ps.Add("layer0.w", 4, 8)
+	ps.Add("layer0.b", 1, 8)
+	ps.Add("readout.w", 8, 1)
+	if init {
+		ps.GlorotInit(rand.New(rand.NewSource(5)))
+	}
+	return ps
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	src := buildParams(t, true)
+	var buf bytes.Buffer
+	n, err := src.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	dst := buildParams(t, false)
+	if err := dst.ReadInto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.All() {
+		q := dst.All()[i]
+		for k := range p.Value.Data {
+			if p.Value.Data[k] != q.Value.Data[k] {
+				t.Fatalf("param %s[%d]: %v != %v", p.Name, k, p.Value.Data[k], q.Value.Data[k])
+			}
+		}
+	}
+}
+
+func TestSerializeRejectsBadMagic(t *testing.T) {
+	dst := buildParams(t, false)
+	if err := dst.ReadInto(bytes.NewBufferString("NOTMAGIC????????")); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestSerializeRejectsTruncated(t *testing.T) {
+	src := buildParams(t, true)
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 4, 8, len(data) / 2, len(data) - 1} {
+		dst := buildParams(t, false)
+		if err := dst.ReadInto(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("expected error at truncation %d", cut)
+		}
+	}
+}
+
+func TestSerializeRejectsLayoutMismatch(t *testing.T) {
+	src := buildParams(t, true)
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different param count.
+	other := NewParamSet()
+	other.Add("layer0.w", 4, 8)
+	if err := other.ReadInto(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected param-count error")
+	}
+
+	// Different name.
+	renamed := NewParamSet()
+	renamed.Add("layerX.w", 4, 8)
+	renamed.Add("layer0.b", 1, 8)
+	renamed.Add("readout.w", 8, 1)
+	if err := renamed.ReadInto(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected name-mismatch error")
+	}
+
+	// Different shape.
+	reshaped := NewParamSet()
+	reshaped.Add("layer0.w", 8, 4)
+	reshaped.Add("layer0.b", 1, 8)
+	reshaped.Add("readout.w", 8, 1)
+	if err := reshaped.ReadInto(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+}
+
+func TestSerializeSpecialValues(t *testing.T) {
+	src := NewParamSet()
+	p := src.Add("w", 1, 4)
+	p.Value.Data[0] = 0
+	p.Value.Data[1] = -0.0
+	p.Value.Data[2] = 1e-308
+	p.Value.Data[3] = -12345.6789
+
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewParamSet()
+	dst.Add("w", 1, 4)
+	if err := dst.ReadInto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Value.Data {
+		if dst.Get("w").Value.Data[i] != p.Value.Data[i] {
+			t.Fatalf("value %d corrupted", i)
+		}
+	}
+}

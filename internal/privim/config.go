@@ -1,0 +1,211 @@
+// Package privim is the core of the reproduction: the PrivIM framework for
+// training node-level differentially private GNNs for influence
+// maximization (§III), the dual-stage adaptive frequency sampling upgrade
+// PrivIM* (§IV), the Gamma-distribution parameter-selection indicator
+// (§IV-C), and the EGN / HP / HP-GRAT baselines used in the evaluation
+// (§V-A).
+package privim
+
+import (
+	"fmt"
+	"math"
+
+	"privim/internal/gnn"
+)
+
+// Mode selects a method from the paper's competitor list.
+type Mode string
+
+// The evaluated methods. ModeNaive is "PrivIM" (Algorithm 1 sampling),
+// ModeSCS adds stage 1 only, ModeDual is PrivIM* (both stages), and the
+// rest are baselines.
+const (
+	ModeNaive      Mode = "privim"
+	ModeSCS        Mode = "privim+scs"
+	ModeDual       Mode = "privim*"
+	ModeNonPrivate Mode = "non-private"
+	ModeEGN        Mode = "egn"
+	ModeHP         Mode = "hp"
+	ModeHPGRAT     Mode = "hp-grat"
+)
+
+// AllModes lists the trainable methods in the paper's Figure 5 order.
+func AllModes() []Mode {
+	return []Mode{ModeDual, ModeNaive, ModeHPGRAT, ModeHP, ModeEGN, ModeNonPrivate}
+}
+
+// Objective selects what the GNN is trained to optimize.
+type Objective string
+
+// Training objectives: influence maximization (the paper's task) and the
+// §VI-C maximum-coverage extension — both run under the identical DP-SGD
+// pipeline and privacy accounting, which is the point of the remark.
+const (
+	ObjectiveIM       Objective = "im"
+	ObjectiveMaxCover Objective = "maxcover"
+)
+
+// Config assembles every knob of the pipeline. Zero values fall back to
+// the paper's defaults (§V-A) via normalize.
+type Config struct {
+	Mode Mode
+
+	// Objective picks the training loss (default ObjectiveIM).
+	Objective Objective
+	// CoverBudget is the per-subgraph cardinality k for ObjectiveMaxCover
+	// (default SubgraphSize/4, min 1).
+	CoverBudget int
+
+	// GNNKind overrides the architecture (default: GRAT for PrivIM
+	// variants and HP-GRAT, GCN for HP and EGN, per §V-A).
+	GNNKind   gnn.Kind
+	HiddenDim int // default 32
+	Layers    int // default 3 (this is r)
+
+	// Epsilon is the privacy budget; <= 0 or +Inf disables noise
+	// (non-private mode forces this). Delta defaults to 1/|V_train|.
+	Epsilon float64
+	Delta   float64
+
+	// Sampling parameters (Algorithms 1 and 3).
+	SubgraphSize int     // n (default 20)
+	Theta        int     // θ (default 10)
+	Tau          float64 // τ (default 0.3)
+	Mu           float64 // µ decay (default 1)
+	SamplingRate float64 // q (default 256/|V|)
+	WalkLength   int     // L (default 200)
+	Threshold    int     // M (default 4)
+	BESDivisor   int     // s (default 2)
+
+	// Training parameters (Algorithm 2).
+	Iterations int     // T (default 40)
+	BatchSize  int     // B (default 16)
+	LearnRate  float64 // η (default 0.005, the paper's setting)
+	ClipBound  float64 // C (default 1)
+	LossSteps  int     // j diffusion steps in the loss (default 1)
+	Lambda     float64 // λ seed-mass penalty (default 0.5)
+	// WeightDecay regularizes private training: the injected DP noise is
+	// zero-mean, so decay pulls the parameter random walk back toward the
+	// origin while the (persistent) gradient signal survives — without it,
+	// noisy runs drift until every sigmoid saturates and scores tie.
+	// Default 2 for private runs (decoupled decay with Adam lr keeps the
+	// equilibrium weight scale near 0.5), 0 for non-private.
+	WeightDecay float64
+
+	Seed int64
+	// InitSeed, when nonzero, seeds parameter initialization separately
+	// from the sampling/noise randomness. Privacy audits pin it so the
+	// distinguishing attack is not washed out by init variance (the DP
+	// guarantee quantifies only over the mechanism's internal randomness;
+	// initialization is public).
+	InitSeed int64
+}
+
+// normalize fills defaults; numNodes is the training-graph size.
+func (c Config) normalize(numNodes int) (Config, error) {
+	switch c.Mode {
+	case ModeNaive, ModeSCS, ModeDual, ModeNonPrivate, ModeEGN, ModeHP, ModeHPGRAT:
+	case "":
+		c.Mode = ModeDual
+	default:
+		return c, fmt.Errorf("privim: unknown mode %q", c.Mode)
+	}
+	if c.GNNKind == "" {
+		switch c.Mode {
+		case ModeEGN, ModeHP:
+			c.GNNKind = gnn.GCN
+		default:
+			c.GNNKind = gnn.GRAT
+		}
+	}
+	if c.HiddenDim == 0 {
+		c.HiddenDim = 32
+	}
+	if c.Layers == 0 {
+		c.Layers = 3
+	}
+	if c.Mode == ModeNonPrivate {
+		c.Epsilon = math.Inf(1)
+	}
+	if c.Delta == 0 {
+		c.Delta = 1 / float64(numNodes+1)
+	}
+	if c.SubgraphSize == 0 {
+		c.SubgraphSize = 20
+	}
+	if c.SubgraphSize > numNodes {
+		c.SubgraphSize = numNodes
+	}
+	if c.Theta == 0 {
+		c.Theta = 10
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.3
+	}
+	if c.Mu == 0 {
+		c.Mu = 1
+	}
+	if c.SamplingRate == 0 {
+		c.SamplingRate = 256 / float64(numNodes)
+		if c.SamplingRate > 1 {
+			c.SamplingRate = 1
+		}
+	}
+	if c.WalkLength == 0 {
+		c.WalkLength = 200
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 4
+	}
+	if c.BESDivisor == 0 {
+		c.BESDivisor = 2
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 40
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.005
+	}
+	if c.ClipBound == 0 {
+		c.ClipBound = 1
+	}
+	if c.LossSteps == 0 {
+		c.LossSteps = 1
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.5
+	}
+	if c.WeightDecay == 0 && c.privatized() {
+		c.WeightDecay = 2
+	}
+	switch c.Objective {
+	case "":
+		c.Objective = ObjectiveIM
+	case ObjectiveIM, ObjectiveMaxCover:
+	default:
+		return c, fmt.Errorf("privim: unknown objective %q", c.Objective)
+	}
+	if c.CoverBudget == 0 {
+		c.CoverBudget = c.SubgraphSize / 4
+		if c.CoverBudget < 1 {
+			c.CoverBudget = 1
+		}
+	}
+	// Epsilon semantics: negative is an error, zero (unset) and +Inf both
+	// mean non-private.
+	if c.Epsilon < 0 {
+		return c, fmt.Errorf("privim: epsilon %v must be positive (or 0 / +Inf for non-private)", c.Epsilon)
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = math.Inf(1)
+	}
+	return c, nil
+}
+
+// privatized reports whether this config injects DP noise.
+func (c Config) privatized() bool {
+	return c.Mode != ModeNonPrivate && !math.IsInf(c.Epsilon, 1) && c.Epsilon > 0
+}

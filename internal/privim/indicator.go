@@ -1,0 +1,182 @@
+package privim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Indicator is the Gamma-pdf parameter-selection indicator of §IV-C: it
+// models how PrivIM*'s utility varies with the subgraph size n and the
+// frequency threshold M, and adapts the curve's peak to the dataset size
+// through the shape parameters
+//
+//	β_n = k_n·ln|V| + b_n,   β_M = k_M/ln|V| + b_M.
+//
+// The scale parameters ψ and the (k, b) pairs come either from the paper's
+// fitted values (DefaultIndicator) or from FitIndicator on prior
+// experiments (Appendix H).
+type Indicator struct {
+	PsiN, PsiM float64
+	KN, BN     float64
+	KM, BM     float64
+}
+
+// DefaultIndicator returns the paper's fitted parameters (§V-D):
+// ψ_n=25, k_n=0.47, b_n=−1.03 and ψ_M=5, k_M=4.02, b_M=1.22.
+func DefaultIndicator() Indicator {
+	return Indicator{PsiN: 25, KN: 0.47, BN: -1.03, PsiM: 5, KM: 4.02, BM: 1.22}
+}
+
+// Shapes returns (β_n, β_M) for a dataset with numNodes nodes (Eq. 12).
+func (ind Indicator) Shapes(numNodes int) (betaN, betaM float64) {
+	if numNodes < 2 {
+		panic(fmt.Sprintf("privim: Indicator.Shapes numNodes = %d", numNodes))
+	}
+	lv := math.Log(float64(numNodes))
+	return ind.KN*lv + ind.BN, ind.KM/lv + ind.BM
+}
+
+// GammaPDF evaluates the Gamma(β, ψ) probability density at x (Eq. 11),
+// computed in log space for stability. Returns 0 for x <= 0.
+func GammaPDF(x, beta, psi float64) float64 {
+	if beta <= 0 || psi <= 0 {
+		panic(fmt.Sprintf("privim: GammaPDF(beta=%v, psi=%v) invalid", beta, psi))
+	}
+	if x <= 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(beta)
+	logp := (beta-1)*math.Log(x) - x/psi - beta*math.Log(psi) - lg
+	return math.Exp(logp)
+}
+
+// Raw returns the unnormalized indicator ξ(n) + ξ(M) for a dataset of
+// numNodes nodes.
+func (ind Indicator) Raw(n, m, numNodes int) float64 {
+	betaN, betaM := ind.Shapes(numNodes)
+	return GammaPDF(float64(n), betaN, ind.PsiN) + GammaPDF(float64(m), betaM, ind.PsiM)
+}
+
+// Values evaluates I(n, M) (Eq. 10) over the cross product of the given
+// grids, normalized so the maximum is 1. The result is indexed
+// [i][j] = I(nGrid[i], mGrid[j]).
+func (ind Indicator) Values(nGrid, mGrid []int, numNodes int) [][]float64 {
+	out := make([][]float64, len(nGrid))
+	max := 0.0
+	for i, n := range nGrid {
+		out[i] = make([]float64, len(mGrid))
+		for j, m := range mGrid {
+			v := ind.Raw(n, m, numNodes)
+			out[i][j] = v
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max > 0 {
+		for i := range out {
+			for j := range out[i] {
+				out[i][j] /= max
+			}
+		}
+	}
+	return out
+}
+
+// Best returns the (n, M) pair from the grids with the highest indicator
+// value — the recommended parameters for a dataset of numNodes nodes,
+// found without spending privacy budget on a parameter sweep.
+func (ind Indicator) Best(nGrid, mGrid []int, numNodes int) (bestN, bestM int) {
+	if len(nGrid) == 0 || len(mGrid) == 0 {
+		panic("privim: Indicator.Best with empty grid")
+	}
+	vals := ind.Values(nGrid, mGrid, numNodes)
+	bi, bj, best := 0, 0, -1.0
+	for i := range vals {
+		for j := range vals[i] {
+			if vals[i][j] > best {
+				bi, bj, best = i, j, vals[i][j]
+			}
+		}
+	}
+	return nGrid[bi], mGrid[bj]
+}
+
+// PeakN returns the mode of the ξ(n; β_n, ψ_n) component, (β_n−1)·ψ_n
+// (Eq. 46) — the continuous-valued recommended subgraph size.
+func (ind Indicator) PeakN(numNodes int) float64 {
+	betaN, _ := ind.Shapes(numNodes)
+	return (betaN - 1) * ind.PsiN
+}
+
+// PeakM returns the mode of the ξ(M; β_M, ψ_M) component, (β_M−1)·ψ_M.
+func (ind Indicator) PeakM(numNodes int) float64 {
+	_, betaM := ind.Shapes(numNodes)
+	return (betaM - 1) * ind.PsiM
+}
+
+// Observation records one prior experiment: the dataset size and the
+// empirically best (n, M) found there. FitIndicator turns a handful of
+// these into indicator parameters (Appendix H, Eq. 48–51).
+type Observation struct {
+	NumNodes int
+	BestN    int
+	BestM    int
+}
+
+// FitIndicator fits (k_n, b_n, k_M, b_M) by least squares given fixed scale
+// parameters ψ_n and ψ_M, using the closed forms of Eq. 48–51: the mode
+// condition n/ψ_n = k_n·ln|V| + b_n − 1 regressed on ln|V|, and
+// M/ψ_M = k_M·ln(1/|V|)... against 1/ln|V| per Eq. 12's reciprocal form.
+func FitIndicator(obs []Observation, psiN, psiM float64) (Indicator, error) {
+	if len(obs) < 2 {
+		return Indicator{}, fmt.Errorf("privim: FitIndicator needs >= 2 observations, got %d", len(obs))
+	}
+	if psiN <= 0 || psiM <= 0 {
+		return Indicator{}, fmt.Errorf("privim: FitIndicator scales must be positive")
+	}
+	// Regress y_n = n_i/ψ_n + 1 on x = ln|V_i| (slope k_n, intercept b_n).
+	var xs, yn, ym []float64
+	for _, o := range obs {
+		if o.NumNodes < 2 || o.BestN < 1 || o.BestM < 1 {
+			return Indicator{}, fmt.Errorf("privim: FitIndicator bad observation %+v", o)
+		}
+		lv := math.Log(float64(o.NumNodes))
+		xs = append(xs, lv)
+		yn = append(yn, float64(o.BestN)/psiN+1)
+		ym = append(ym, float64(o.BestM)/psiM+1)
+	}
+	kn, bn, err := leastSquares(xs, yn)
+	if err != nil {
+		return Indicator{}, err
+	}
+	// β_M = k_M/ln|V| + b_M, so regress y_M on 1/ln|V|.
+	invXs := make([]float64, len(xs))
+	for i, x := range xs {
+		invXs[i] = 1 / x
+	}
+	km, bm, err := leastSquares(invXs, ym)
+	if err != nil {
+		return Indicator{}, err
+	}
+	return Indicator{PsiN: psiN, KN: kn, BN: bn, PsiM: psiM, KM: km, BM: bm}, nil
+}
+
+// leastSquares fits y = k·x + b, returning an error on degenerate x.
+func leastSquares(xs, ys []float64) (k, b float64, err error) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return 0, 0, fmt.Errorf("privim: leastSquares degenerate x values")
+	}
+	k = (n*sxy - sx*sy) / den
+	b = (sy - k*sx) / n
+	return k, b, nil
+}

@@ -1,0 +1,202 @@
+package privim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaPDFBasics(t *testing.T) {
+	// Gamma(1, ψ) is Exponential(1/ψ): pdf(0+) = 1/ψ.
+	if got := GammaPDF(1e-9, 1, 2); math.Abs(got-0.5) > 1e-6 {
+		t.Fatalf("Gamma(1,2) pdf near 0 = %v, want 0.5", got)
+	}
+	if got := GammaPDF(-1, 2, 1); got != 0 {
+		t.Fatalf("pdf at negative x = %v, want 0", got)
+	}
+	if got := GammaPDF(0, 2, 1); got != 0 {
+		t.Fatalf("pdf at 0 = %v, want 0 for beta > 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad shape")
+		}
+	}()
+	GammaPDF(1, 0, 1)
+}
+
+func TestGammaPDFIntegratesToOne(t *testing.T) {
+	// Trapezoid integration over a wide range.
+	for _, tc := range []struct{ beta, psi float64 }{{2, 3}, {5, 1}, {1.5, 10}} {
+		total := 0.0
+		dx := 0.01
+		for x := dx; x < 200; x += dx {
+			total += GammaPDF(x, tc.beta, tc.psi) * dx
+		}
+		if math.Abs(total-1) > 0.01 {
+			t.Errorf("Gamma(%v,%v) integrates to %v", tc.beta, tc.psi, total)
+		}
+	}
+}
+
+func TestGammaPDFPeakAtMode(t *testing.T) {
+	// Mode of Gamma(beta, psi) is (beta-1)*psi for beta > 1.
+	beta, psi := 3.0, 4.0
+	mode := (beta - 1) * psi
+	atMode := GammaPDF(mode, beta, psi)
+	for _, x := range []float64{mode * 0.5, mode * 0.9, mode * 1.1, mode * 2} {
+		if GammaPDF(x, beta, psi) > atMode {
+			t.Fatalf("pdf(%v) exceeds pdf at mode %v", x, mode)
+		}
+	}
+}
+
+func TestIndicatorShapesTrend(t *testing.T) {
+	ind := DefaultIndicator()
+	// Larger datasets: larger beta_n (larger optimal n), smaller beta_M
+	// (smaller optimal M) — the §IV-C intuition.
+	bn1, bm1 := ind.Shapes(1_000)
+	bn2, bm2 := ind.Shapes(200_000)
+	if bn2 <= bn1 {
+		t.Fatalf("beta_n should grow with |V|: %v vs %v", bn1, bn2)
+	}
+	if bm2 >= bm1 {
+		t.Fatalf("beta_M should shrink with |V|: %v vs %v", bm1, bm2)
+	}
+}
+
+func TestIndicatorPeaks(t *testing.T) {
+	ind := DefaultIndicator()
+	// For the paper's datasets the peak subgraph size should land in the
+	// evaluated 10..80 range and the peak threshold in 1..12.
+	for _, nodes := range []int{1_000, 7_600, 22_500, 196_000} {
+		pn := ind.PeakN(nodes)
+		pm := ind.PeakM(nodes)
+		// Gowalla's peak may exceed the swept 80 — consistent with Fig. 7,
+		// where its spread keeps growing through n=80.
+		if pn < 10 || pn > 100 {
+			t.Errorf("|V|=%d: peak n = %v outside the paper's sweep range", nodes, pn)
+		}
+		if pm < 0.5 || pm > 13 {
+			t.Errorf("|V|=%d: peak M = %v outside the paper's sweep range", nodes, pm)
+		}
+	}
+	// Monotone: bigger dataset -> bigger recommended n, smaller or equal M.
+	if ind.PeakN(196_000) <= ind.PeakN(1_000) {
+		t.Error("peak n should grow with dataset size")
+	}
+	if ind.PeakM(196_000) >= ind.PeakM(1_000) {
+		t.Error("peak M should shrink with dataset size")
+	}
+}
+
+func TestIndicatorValuesNormalized(t *testing.T) {
+	ind := DefaultIndicator()
+	nGrid := []int{10, 20, 40, 60, 80}
+	mGrid := []int{2, 4, 6, 8, 10}
+	vals := ind.Values(nGrid, mGrid, 7600)
+	max := 0.0
+	for i := range vals {
+		for j := range vals[i] {
+			v := vals[i][j]
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("I(%d,%d) = %v outside [0,1]", nGrid[i], mGrid[j], v)
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if math.Abs(max-1) > 1e-12 {
+		t.Fatalf("max normalized value %v, want 1", max)
+	}
+}
+
+func TestIndicatorBest(t *testing.T) {
+	ind := DefaultIndicator()
+	nGrid := []int{10, 20, 40, 60, 80}
+	mGrid := []int{2, 4, 6, 8, 10}
+	n, m := ind.Best(nGrid, mGrid, 7600)
+	// Best must be on the grid.
+	found := false
+	for _, g := range nGrid {
+		if g == n {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("best n %d not on grid", n)
+	}
+	// And it must coincide with the argmax of Values.
+	vals := ind.Values(nGrid, mGrid, 7600)
+	for i, gn := range nGrid {
+		for j, gm := range mGrid {
+			if vals[i][j] > 0.9999999 && (gn != n || gm != m) {
+				t.Fatalf("Best returned (%d,%d) but argmax is (%d,%d)", n, m, gn, gm)
+			}
+		}
+	}
+}
+
+func TestIndicatorBestPanicsOnEmptyGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultIndicator().Best(nil, []int{1}, 100)
+}
+
+func TestFitIndicatorRecovers(t *testing.T) {
+	// Generate observations from known parameters and verify recovery.
+	truth := Indicator{PsiN: 25, KN: 0.5, BN: -1, PsiM: 5, KM: 4, BM: 1.2}
+	var obs []Observation
+	for _, nodes := range []int{1_000, 5_000, 20_000, 100_000} {
+		bn, bm := truth.Shapes(nodes)
+		obs = append(obs, Observation{
+			NumNodes: nodes,
+			BestN:    int(math.Round((bn - 1) * truth.PsiN)),
+			BestM:    int(math.Round((bm - 1) * truth.PsiM)),
+		})
+	}
+	fit, err := FitIndicator(obs, truth.PsiN, truth.PsiM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.KN-truth.KN) > 0.05 || math.Abs(fit.BN-truth.BN) > 0.5 {
+		t.Fatalf("n fit (k=%v, b=%v), want (%v, %v)", fit.KN, fit.BN, truth.KN, truth.BN)
+	}
+	if math.Abs(fit.KM-truth.KM) > 1 || math.Abs(fit.BM-truth.BM) > 0.3 {
+		t.Fatalf("M fit (k=%v, b=%v), want (%v, %v)", fit.KM, fit.BM, truth.KM, truth.BM)
+	}
+}
+
+func TestFitIndicatorErrors(t *testing.T) {
+	if _, err := FitIndicator(nil, 25, 5); err == nil {
+		t.Fatal("expected error for too few observations")
+	}
+	obs := []Observation{{NumNodes: 100, BestN: 10, BestM: 2}, {NumNodes: 100, BestN: 10, BestM: 2}}
+	if _, err := FitIndicator(obs, 25, 5); err == nil {
+		t.Fatal("expected error for degenerate x (same |V|)")
+	}
+	bad := []Observation{{NumNodes: 0, BestN: 10, BestM: 2}, {NumNodes: 200, BestN: 10, BestM: 2}}
+	if _, err := FitIndicator(bad, 25, 5); err == nil {
+		t.Fatal("expected error for bad observation")
+	}
+	if _, err := FitIndicator(obs, -1, 5); err == nil {
+		t.Fatal("expected error for negative scale")
+	}
+}
+
+// Property: indicator values are finite for any sane grid.
+func TestIndicatorFiniteProperty(t *testing.T) {
+	ind := DefaultIndicator()
+	f := func(rawNodes uint32) bool {
+		nodes := int(rawNodes%1_000_000) + 100
+		v := ind.Raw(40, 4, nodes)
+		return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+package privim
+
+import (
+	"math"
+	"testing"
+
+	"privim/internal/dataset"
+	"privim/internal/gnn"
+	"privim/internal/im"
+)
+
+// quickDataset returns a small deterministic training graph.
+func quickDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Email, dataset.Options{Scale: 0.2, Seed: 1, InfluenceProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// quickConfig keeps training tiny for unit tests.
+func quickConfig(mode Mode) Config {
+	return Config{
+		Mode:         mode,
+		HiddenDim:    8,
+		Layers:       2,
+		Epsilon:      4,
+		SubgraphSize: 10,
+		SamplingRate: 0.6,
+		WalkLength:   100,
+		Threshold:    3,
+		Iterations:   5,
+		BatchSize:    4,
+		Seed:         7,
+	}
+}
+
+func TestTrainAllModes(t *testing.T) {
+	ds := quickDataset(t)
+	train := ds.TrainSubgraph().G
+	for _, mode := range AllModes() {
+		mode := mode
+		t.Run(string(mode), func(t *testing.T) {
+			res, err := Train(train, quickConfig(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Model == nil || res.NumSubgraphs == 0 {
+				t.Fatalf("result incomplete: %v", res)
+			}
+			if mode == ModeNonPrivate {
+				if res.Private || res.Sigma != 0 {
+					t.Fatalf("non-private run reported privacy: %v", res)
+				}
+			} else {
+				if !res.Private || res.Sigma <= 0 {
+					t.Fatalf("private run missing noise: %v", res)
+				}
+				if res.EpsilonSpent > 4*1.001 {
+					t.Fatalf("epsilon spent %v exceeds budget 4", res.EpsilonSpent)
+				}
+			}
+			// Seed selection works end to end.
+			test := ds.TestSubgraph().G
+			seeds := res.SelectSeeds(test, 5)
+			if err := im.ValidateSeeds(seeds, test.NumNodes()); err != nil {
+				t.Fatal(err)
+			}
+			if len(seeds) != 5 {
+				t.Fatalf("got %d seeds", len(seeds))
+			}
+			// Scores are probabilities.
+			for i, s := range res.Scores(test) {
+				if s <= 0 || s >= 1 || math.IsNaN(s) {
+					t.Fatalf("score[%d] = %v", i, s)
+				}
+			}
+		})
+	}
+}
+
+func TestTrainSCSMode(t *testing.T) {
+	ds := quickDataset(t)
+	res, err := Train(ds.TrainSubgraph().G, quickConfig(ModeSCS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OccurrenceBound != 3 {
+		t.Fatalf("SCS occurrence bound %d, want threshold 3", res.OccurrenceBound)
+	}
+	if res.MaxOccurrence > 3 {
+		t.Fatalf("audited occurrence %d exceeds M=3", res.MaxOccurrence)
+	}
+}
+
+func TestDualStageOccurrenceInvariant(t *testing.T) {
+	ds := quickDataset(t)
+	res, err := Train(ds.TrainSubgraph().G, quickConfig(ModeDual))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxOccurrence > res.Config.Threshold {
+		t.Fatalf("PrivIM* audit %d exceeds threshold %d", res.MaxOccurrence, res.Config.Threshold)
+	}
+}
+
+func TestNaiveUsesLemma1Bound(t *testing.T) {
+	ds := quickDataset(t)
+	cfg := quickConfig(ModeNaive)
+	cfg.Theta = 3
+	res, err := Train(ds.TrainSubgraph().G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 1 with theta=3, r=2: 1+3+9 = 13, capped at container size.
+	want := 13
+	if res.NumSubgraphs < want {
+		want = res.NumSubgraphs
+	}
+	if res.OccurrenceBound != want {
+		t.Fatalf("naive bound %d, want min(13, m=%d)", res.OccurrenceBound, res.NumSubgraphs)
+	}
+}
+
+func TestSmallerThresholdLessNoise(t *testing.T) {
+	ds := quickDataset(t)
+	train := ds.TrainSubgraph().G
+	lo := quickConfig(ModeDual)
+	lo.Threshold = 2
+	hi := quickConfig(ModeDual)
+	hi.Threshold = 12
+	resLo, err := Train(train, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resHi, err := Train(train, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLo.NoiseScale >= resHi.NoiseScale {
+		t.Fatalf("noise with M=2 (%v) should be < M=12 (%v)", resLo.NoiseScale, resHi.NoiseScale)
+	}
+}
+
+func TestEGNGetsWorstNoise(t *testing.T) {
+	ds := quickDataset(t)
+	train := ds.TrainSubgraph().G
+	egn, err := Train(train, quickConfig(ModeEGN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := Train(train, quickConfig(ModeDual))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if egn.NoiseScale <= dual.NoiseScale {
+		t.Fatalf("EGN noise %v should exceed PrivIM* noise %v", egn.NoiseScale, dual.NoiseScale)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	ds := quickDataset(t)
+	train := ds.TrainSubgraph().G
+	bad := quickConfig("bogus")
+	if _, err := Train(train, bad); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+	neg := quickConfig(ModeDual)
+	neg.Epsilon = -2
+	if _, err := Train(train, neg); err == nil {
+		t.Fatal("expected error for negative epsilon")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c, err := Config{}.normalize(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mode != ModeDual || c.GNNKind != gnn.GRAT || c.HiddenDim != 32 || c.Layers != 3 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if c.Theta != 10 || c.Tau != 0.3 || c.WalkLength != 200 {
+		t.Fatalf("sampling defaults wrong: %+v", c)
+	}
+	if c.SamplingRate != 256.0/1000 {
+		t.Fatalf("q default = %v, want 0.256", c.SamplingRate)
+	}
+	if !math.IsInf(c.Epsilon, 1) {
+		t.Fatalf("epsilon default should be +Inf (non-private until set), got %v", c.Epsilon)
+	}
+	// Baseline kinds.
+	ce, _ := Config{Mode: ModeEGN}.normalize(100)
+	if ce.GNNKind != gnn.GCN {
+		t.Fatalf("EGN should default to GCN, got %v", ce.GNNKind)
+	}
+	ch, _ := Config{Mode: ModeHPGRAT}.normalize(100)
+	if ch.GNNKind != gnn.GRAT {
+		t.Fatalf("HP-GRAT should default to GRAT, got %v", ch.GNNKind)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	ds := quickDataset(t)
+	res, err := Train(ds.TrainSubgraph().G, quickConfig(ModeDual))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestMaxCoverObjective(t *testing.T) {
+	ds := quickDataset(t)
+	train := ds.TrainSubgraph().G
+	cfg := quickConfig(ModeDual)
+	cfg.Objective = ObjectiveMaxCover
+	cfg.Iterations = 20
+	res, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Private {
+		t.Fatal("max-cover objective must keep the DP pipeline")
+	}
+	test := ds.TestSubgraph().G
+	seeds := res.SelectSeeds(test, 5)
+	if len(seeds) != 5 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	// Unknown objective errors.
+	bad := quickConfig(ModeDual)
+	bad.Objective = "bogus"
+	if _, err := Train(train, bad); err == nil {
+		t.Fatal("expected error for unknown objective")
+	}
+}
+
+func TestLossHistoryConverges(t *testing.T) {
+	ds := quickDataset(t)
+	cfg := quickConfig(ModeNonPrivate)
+	cfg.Iterations = 40
+	res, err := Train(ds.TrainSubgraph().G, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LossHistory) != 40 {
+		t.Fatalf("loss history length %d, want 40", len(res.LossHistory))
+	}
+	// Non-private training must reduce the loss substantially: compare the
+	// mean of the first and last 5 iterations.
+	head, tail := 0.0, 0.0
+	for i := 0; i < 5; i++ {
+		head += res.LossHistory[i]
+		tail += res.LossHistory[len(res.LossHistory)-1-i]
+	}
+	if tail >= head {
+		t.Fatalf("loss did not decrease: head %v, tail %v", head/5, tail/5)
+	}
+	for i, l := range res.LossHistory {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("loss[%d] = %v", i, l)
+		}
+	}
+}
+
+func TestTrainTimingPopulated(t *testing.T) {
+	ds := quickDataset(t)
+	res, err := Train(ds.TrainSubgraph().G, quickConfig(ModeDual))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preprocess <= 0 || res.PerEpoch <= 0 {
+		t.Fatalf("timings not recorded: pre=%v epoch=%v", res.Preprocess, res.PerEpoch)
+	}
+}

@@ -1,0 +1,310 @@
+package privim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"privim/internal/autodiff"
+	"privim/internal/dataset"
+	"privim/internal/dp"
+	"privim/internal/gnn"
+	"privim/internal/graph"
+	"privim/internal/im"
+	"privim/internal/nn"
+	"privim/internal/sampling"
+	"privim/internal/tensor"
+)
+
+// Result bundles a trained model with the privacy accounting and timing
+// data the evaluation reports.
+type Result struct {
+	Config Config
+	Model  *gnn.Model
+
+	// Sigma is the calibrated noise multiplier (0 for non-private).
+	Sigma float64
+	// NoiseScale is the absolute per-coordinate noise std σ·Δ_g.
+	NoiseScale float64
+	// EpsilonSpent is the accountant's (ε, δ) guarantee after training
+	// (+Inf sentinel is never stored; non-private runs report 0 spend with
+	// Private=false).
+	EpsilonSpent float64
+	Private      bool
+
+	// NumSubgraphs is m; OccurrenceBound is the N_g (or M) the accounting
+	// used; MaxOccurrence is the audited empirical maximum.
+	NumSubgraphs    int
+	OccurrenceBound int
+	MaxOccurrence   int
+
+	// Preprocess and PerEpoch are the Table III timing measurements.
+	Preprocess time.Duration
+	PerEpoch   time.Duration
+
+	// LossHistory records the mean per-sample training loss at each
+	// iteration (pre-noise, so it reflects what the model actually
+	// optimizes); useful for convergence diagnostics.
+	LossHistory []float64
+}
+
+// Train runs the full pipeline of the configured method on the training
+// graph g: subgraph extraction (Module 1), privacy accounting (Module 2),
+// and DP-GNN training (Module 3).
+func Train(g *graph.Graph, cfg Config) (*Result, error) {
+	cfg, err := cfg.normalize(g.NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Module 1: subgraph extraction.
+	preStart := time.Now()
+	container, bound, err := extractContainer(g, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	preprocess := time.Since(preStart)
+	if container.Len() == 0 {
+		return nil, fmt.Errorf("privim: extraction produced no subgraphs (|V|=%d, n=%d, q=%v)",
+			g.NumNodes(), cfg.SubgraphSize, cfg.SamplingRate)
+	}
+
+	// Module 2: privacy accounting.
+	res := &Result{
+		Config:          cfg,
+		NumSubgraphs:    container.Len(),
+		OccurrenceBound: bound,
+		MaxOccurrence:   container.MaxOccurrence(),
+		Preprocess:      preprocess,
+	}
+	batch := cfg.BatchSize
+	if batch > container.Len() {
+		batch = container.Len()
+	}
+	var sigma, noiseScale float64
+	if cfg.privatized() {
+		ngEff := bound
+		if ngEff > container.Len() {
+			ngEff = container.Len() // a node cannot appear in more than m subgraphs
+		}
+		sigma, err = dp.CalibrateSigma(cfg.Epsilon, cfg.Delta, cfg.Iterations, batch, container.Len(), ngEff)
+		if err != nil {
+			return nil, err
+		}
+		noiseScale = sigma * dp.NodeSensitivity(cfg.ClipBound, ngEff)
+		res.Sigma = sigma
+		res.NoiseScale = noiseScale
+		res.Private = true
+		res.EpsilonSpent = dp.Accountant{M: container.Len(), B: batch, Ng: ngEff, Sigma: sigma}.
+			Epsilon(cfg.Iterations, cfg.Delta)
+		res.OccurrenceBound = ngEff
+	}
+
+	// Module 3: DP-GNN training (Algorithm 2).
+	model, err := gnn.New(gnn.Config{
+		Kind:      cfg.GNNKind,
+		InputDim:  dataset.NumStructuralFeatures,
+		HiddenDim: cfg.HiddenDim,
+		Layers:    cfg.Layers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.InitSeed != 0 {
+		model.Init(rand.New(rand.NewSource(cfg.InitSeed)))
+	} else {
+		model.Init(rng)
+	}
+	res.Model = model
+
+	opt := nn.NewAdam(model.Params, cfg.LearnRate)
+	sum := nn.NewGrads(model.Params)
+	// Per-sample gradients are independent; compute them on a worker pool
+	// and reduce in index order so runs stay deterministic.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > batchForWorkers(cfg.BatchSize, container.Len()) {
+		workers = batchForWorkers(cfg.BatchSize, container.Len())
+	}
+	batchGrads := make([]*nn.Grads, batchForWorkers(cfg.BatchSize, container.Len()))
+	for i := range batchGrads {
+		batchGrads[i] = nn.NewGrads(model.Params)
+	}
+
+	// Pre-compute per-subgraph features once: they derive from subgraph
+	// structure only.
+	features := make([]*tensor.Matrix, container.Len())
+	for i, s := range container.Subgraphs {
+		features[i] = tensor.FromSlice(s.G.NumNodes(), dataset.NumStructuralFeatures,
+			dataset.StructuralFeatures(s.G))
+	}
+
+	trainStart := time.Now()
+	lossCfg := gnn.LossConfig{Steps: cfg.LossSteps, Lambda: cfg.Lambda}
+	res.LossHistory = make([]float64, 0, cfg.Iterations)
+	batchLosses := make([]float64, batchForWorkers(cfg.BatchSize, container.Len()))
+	for t := 0; t < cfg.Iterations; t++ {
+		sum.Zero()
+		// Draw the whole batch first so rng consumption is independent of
+		// scheduling, then fan the per-sample passes out to the pool.
+		picks := make([]int, batch)
+		for b := range picks {
+			picks[b] = rng.Intn(container.Len())
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for b := w; b < batch; b += workers {
+					idx := picks[b]
+					s := container.Subgraphs[idx]
+					tp := autodiff.NewTape()
+					boundParams := nn.Bind(tp, model.Params)
+					scores := model.Forward(tp, boundParams, s.G, features[idx])
+					var loss *autodiff.Node
+					if cfg.Objective == ObjectiveMaxCover {
+						loss = gnn.MaxCoverLoss(tp, s.G, scores, cfg.CoverBudget, 1)
+					} else {
+						loss = gnn.IMLoss(tp, s.G, scores, lossCfg)
+					}
+					tp.Backward(loss)
+					batchLosses[b] = loss.Value.Data[0] / float64(s.G.NumNodes())
+					nn.Collect(boundParams, batchGrads[b])
+					if cfg.privatized() {
+						batchGrads[b].ClipL2(cfg.ClipBound)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		meanLoss := 0.0
+		for b := 0; b < batch; b++ {
+			sum.Add(1, batchGrads[b])
+			meanLoss += batchLosses[b]
+		}
+		res.LossHistory = append(res.LossHistory, meanLoss/float64(batch))
+		if cfg.privatized() {
+			switch cfg.Mode {
+			case ModeHP, ModeHPGRAT:
+				// HP pairs HeterPoisson sampling with symmetric multivariate
+				// Laplace noise at the same calibrated scale.
+				addSML(sum, noiseScale, rng)
+			default:
+				sum.AddGaussianNoise(noiseScale, rng)
+			}
+		}
+		sum.Scale(1 / float64(batch))
+		opt.Step(sum)
+		if cfg.WeightDecay > 0 {
+			// Decoupled (AdamW-style) decay; see Config.WeightDecay.
+			decay := 1 - cfg.LearnRate*cfg.WeightDecay
+			for _, p := range model.Params.All() {
+				for i := range p.Value.Data {
+					p.Value.Data[i] *= decay
+				}
+			}
+		}
+	}
+	if cfg.Iterations > 0 {
+		res.PerEpoch = time.Since(trainStart) / time.Duration(cfg.Iterations)
+	}
+	return res, nil
+}
+
+// batchForWorkers returns the effective batch size (clamped to the
+// container) used to size the parallel gradient buffers.
+func batchForWorkers(batch, containerLen int) int {
+	if batch > containerLen {
+		return containerLen
+	}
+	if batch < 1 {
+		return 1
+	}
+	return batch
+}
+
+// addSML adds symmetric multivariate Laplace noise of scale s to every
+// gradient coordinate (one mixing variable per parameter tensor).
+func addSML(g *nn.Grads, s float64, rng *rand.Rand) {
+	for _, m := range g.Mats() {
+		dp.SMLNoise(m.Data, s, rng)
+	}
+}
+
+// extractContainer dispatches Module 1 per method and returns the
+// container together with the occurrence bound the privacy analysis uses.
+func extractContainer(g *graph.Graph, cfg Config, rng *rand.Rand) (*sampling.Container, int, error) {
+	switch cfg.Mode {
+	case ModeNaive:
+		c, _, err := sampling.ExtractRWR(g, sampling.RWRConfig{
+			SubgraphSize: cfg.SubgraphSize,
+			Theta:        cfg.Theta,
+			Tau:          cfg.Tau,
+			SamplingRate: cfg.SamplingRate,
+			WalkLength:   cfg.WalkLength,
+			Hops:         cfg.Layers,
+		}, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Lemma 1: the worst-case occurrence bound grows as Σθ^i.
+		return c, graph.MaxOccurrence(cfg.Theta, cfg.Layers), nil
+
+	case ModeSCS, ModeDual, ModeNonPrivate:
+		fc := sampling.FreqConfig{
+			SubgraphSize: cfg.SubgraphSize,
+			Tau:          cfg.Tau,
+			Mu:           cfg.Mu,
+			SamplingRate: cfg.SamplingRate,
+			WalkLength:   cfg.WalkLength,
+			Threshold:    cfg.Threshold,
+			BESDivisor:   cfg.BESDivisor,
+		}
+		if cfg.Mode == ModeSCS {
+			fc.BESDivisor = 0
+		}
+		c, err := sampling.ExtractDualStage(g, fc, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		// The frequency cap makes N_g* = M exact.
+		return c, cfg.Threshold, nil
+
+	case ModeEGN:
+		return extractEGN(g, cfg, rng)
+
+	case ModeHP, ModeHPGRAT:
+		return extractHP(g, cfg, rng)
+	}
+	return nil, 0, fmt.Errorf("privim: extractContainer: unhandled mode %q", cfg.Mode)
+}
+
+// Scores runs the trained model over an evaluation graph (typically the
+// held-out test subgraph) and returns per-node seed probabilities.
+func (r *Result) Scores(g *graph.Graph) []float64 {
+	x := tensor.FromSlice(g.NumNodes(), dataset.NumStructuralFeatures, dataset.StructuralFeatures(g))
+	return r.Model.Score(g, x)
+}
+
+// SelectSeeds scores g and returns the top-k nodes, the paper's seed
+// selection rule.
+func (r *Result) SelectSeeds(g *graph.Graph, k int) []graph.NodeID {
+	return im.TopKScores(r.Scores(g), k)
+}
+
+// String summarizes the result for logs.
+func (r *Result) String() string {
+	eps := "∞"
+	if r.Private {
+		eps = fmt.Sprintf("%.3f", r.EpsilonSpent)
+	}
+	return fmt.Sprintf("privim.Result(mode=%s, m=%d, Ng=%d (audit %d), σ=%.4g, ε=%s)",
+		r.Config.Mode, r.NumSubgraphs, r.OccurrenceBound, r.MaxOccurrence, r.Sigma, eps)
+}
+
+// Infinity reports +Inf for use in non-private configs.
+func Infinity() float64 { return math.Inf(1) }

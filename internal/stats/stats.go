@@ -1,0 +1,150 @@
+// Package stats provides the statistical utilities the experiment harness
+// uses to quantify agreement and uncertainty: rank correlation between the
+// parameter indicator and empirical spreads (Figures 8/12/15), bootstrap
+// confidence intervals for repeated measurements, and simple descriptive
+// summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// ranks assigns fractional ranks (mean rank for ties), 1-based.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Mean rank for the tie block [i, j].
+		r := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = r
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Pearson returns the Pearson correlation coefficient of paired samples.
+// It returns 0 for degenerate input (length < 2 or zero variance).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation ρ of paired samples — the
+// agreement metric for "does the indicator curve track the empirical
+// spread curve". Ties receive fractional ranks.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Spearman length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// BootstrapMeanCI returns the percentile bootstrap confidence interval of
+// the mean at the given level (e.g. 0.95), using resamples drawn from rng.
+func BootstrapMeanCI(xs []float64, level float64, resamples int, rng *rand.Rand) Interval {
+	if len(xs) == 0 || resamples < 1 || level <= 0 || level >= 1 {
+		panic(fmt.Sprintf("stats: BootstrapMeanCI(n=%d, level=%v, resamples=%d) invalid", len(xs), level, resamples))
+	}
+	means := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[rng.Intn(len(xs))]
+		}
+		means[r] = Mean(buf)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	lo := int(alpha * float64(resamples))
+	hi := int((1 - alpha) * float64(resamples))
+	if hi >= resamples {
+		hi = resamples - 1
+	}
+	return Interval{Lo: means[lo], Hi: means[hi]}
+}
+
+// ArgMax returns the index of the maximum element (first on ties), or -1
+// for empty input.
+func ArgMax(xs []float64) int {
+	best := -1
+	for i, x := range xs {
+		if best < 0 || x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// PeakAgreement reports whether two curves peak at the same index — the
+// paper's qualitative claim that the indicator's maximum identifies the
+// optimal parameter value.
+func PeakAgreement(indicator, empirical []float64) bool {
+	if len(indicator) != len(empirical) || len(indicator) == 0 {
+		return false
+	}
+	return ArgMax(indicator) == ArgMax(empirical)
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if StdDev(xs) != 2 {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty input should be 0")
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestPearsonKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	// Perfect linear relation.
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	// Perfect negative.
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+	// Zero variance.
+	if got := Pearson(xs, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Fatalf("Pearson with constant = %v, want 0", got)
+	}
+	if got := Pearson([]float64{1}, []float64{2}); got != 0 {
+		t.Fatalf("Pearson with n=1 = %v, want 0", got)
+	}
+}
+
+func TestPearsonPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any monotone transform gives rho = 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // x^3: nonlinear but monotone
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman = %v, want 1", got)
+	}
+	rev := []float64{125, 64, 27, 8, 1}
+	if got := Spearman(xs, rev); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Spearman = %v, want -1", got)
+	}
+}
+
+// Property: Spearman is invariant under strictly increasing transforms.
+func TestSpearmanInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		base := Spearman(xs, ys)
+		warped := make([]float64, n)
+		for i, x := range xs {
+			warped[i] = math.Exp(x) // strictly increasing
+		}
+		return math.Abs(Spearman(warped, ys)-base) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	ci := BootstrapMeanCI(xs, 0.95, 2000, rng)
+	if ci.Lo > 10 || ci.Hi < 10 {
+		t.Fatalf("95%% CI %v should contain the true mean 10", ci)
+	}
+	if ci.Hi-ci.Lo > 1 {
+		t.Fatalf("CI %v too wide for n=200", ci)
+	}
+	if ci.Lo >= ci.Hi {
+		t.Fatalf("degenerate CI %v", ci)
+	}
+}
+
+func TestBootstrapPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, fn := range []func(){
+		func() { BootstrapMeanCI(nil, 0.95, 100, rng) },
+		func() { BootstrapMeanCI([]float64{1}, 0, 100, rng) },
+		func() { BootstrapMeanCI([]float64{1}, 0.95, 0, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestArgMaxAndPeakAgreement(t *testing.T) {
+	if ArgMax([]float64{1, 5, 3}) != 1 {
+		t.Fatal("ArgMax wrong")
+	}
+	if ArgMax(nil) != -1 {
+		t.Fatal("ArgMax(nil) should be -1")
+	}
+	if ArgMax([]float64{2, 2}) != 0 {
+		t.Fatal("ArgMax tie should pick first")
+	}
+	if !PeakAgreement([]float64{1, 3, 2}, []float64{10, 30, 20}) {
+		t.Fatal("same peak should agree")
+	}
+	if PeakAgreement([]float64{3, 1}, []float64{1, 3}) {
+		t.Fatal("different peaks should disagree")
+	}
+	if PeakAgreement([]float64{1}, []float64{1, 2}) {
+		t.Fatal("length mismatch should disagree")
+	}
+}

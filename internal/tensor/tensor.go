@@ -1,0 +1,299 @@
+// Package tensor implements the dense linear-algebra substrate for the
+// neural-network stack: row-major float64 matrices with the operations
+// needed by GNN forward/backward passes (GEMM, transpose, row gather,
+// reductions, stable softmax). It is deliberately small — correctness and
+// clarity over BLAS-level tuning — but GEMM is written cache-friendly
+// (ikj loop order) since it dominates training time.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix. The zero value is an empty matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: New(%d, %d) negative dims", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice(%d, %d) with %d values", rows, cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero resets all elements to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+func assertSameShape(op string, a, b *Matrix) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// MatMul returns a×b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b, false)
+	return out
+}
+
+// MatMulInto computes out = a×b, or out += a×b when accumulate is true.
+// out must be preallocated with shape a.Rows × b.Cols and must not alias a
+// or b.
+func MatMulInto(out, a, b *Matrix, accumulate bool) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	if !accumulate {
+		out.Zero()
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns mᵀ.
+func Transpose(m *Matrix) *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	assertSameShape("Add", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// Sub returns a−b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	assertSameShape("Sub", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Mul returns the Hadamard product a∘b.
+func Mul(a, b *Matrix) *Matrix {
+	assertSameShape("Mul", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] *= v
+	}
+	return out
+}
+
+// Scale returns s·m.
+func Scale(m *Matrix, s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// AXPY computes dst += s·src in place.
+func AXPY(dst *Matrix, s float64, src *Matrix) {
+	assertSameShape("AXPY", dst, src)
+	for i, v := range src.Data {
+		dst.Data[i] += s * v
+	}
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Norm2 returns the Frobenius (l2) norm.
+func (m *Matrix) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns max_i |m_i|.
+func (m *Matrix) MaxAbs() float64 {
+	best := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// Apply returns f applied elementwise.
+func Apply(m *Matrix, f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// SoftmaxRows returns row-wise softmax with the standard max-shift for
+// numerical stability.
+func SoftmaxRows(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		orow := out.Row(i)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - max)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}
+
+// LogSumExp returns log Σ exp(x_i) computed stably.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	max := math.Inf(-1)
+	for _, v := range xs {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += math.Exp(v - max)
+	}
+	return max + math.Log(sum)
+}
+
+// RandNormal fills m with N(0, std²) values from rng.
+func (m *Matrix) RandNormal(std float64, rng *rand.Rand) {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// RandUniform fills m with Uniform(-a, a) values from rng.
+func (m *Matrix) RandUniform(a float64, rng *rand.Rand) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * a
+	}
+}
+
+// Equal reports elementwise equality within tol.
+func Equal(a, b *Matrix, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging; large ones are summarized.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d, ‖·‖=%.4g)", m.Rows, m.Cols, m.Norm2())
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

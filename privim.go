@@ -1,0 +1,241 @@
+// Package privim is a differentially private graph neural network
+// framework for influence maximization, reproducing "PrivIM:
+// Differentially Private Graph Neural Networks for Influence Maximization"
+// (ICDE 2025) in pure Go.
+//
+// The package is a facade over the internal implementation; a typical
+// pipeline is
+//
+//	ds, _ := privim.GenerateDataset(privim.LastFM, privim.DatasetOptions{Scale: 0.05, Seed: 1, InfluenceProb: 1})
+//	res, _ := privim.Train(ds.TrainSubgraph().G, privim.Config{Mode: privim.ModeDual, Epsilon: 3})
+//	seeds := res.SelectSeeds(ds.TestSubgraph().G, 50)
+//
+// which trains the PrivIM* pipeline (dual-stage adaptive frequency
+// sampling + DP-SGD with the Theorem-3 Rényi accountant) under node-level
+// (ε, δ)-differential privacy and selects the top-k seed nodes.
+//
+// Subpackage map (all re-exported here where a downstream user needs them):
+//
+//   - internal/graph: directed weighted graphs, θ-projection, subgraphs
+//   - internal/dataset: synthetic social-network generators (Table I shapes)
+//   - internal/sampling: Algorithm 1 RWR and Algorithm 3 dual-stage sampling
+//   - internal/dp: Gaussian/Laplace/SML mechanisms, RDP accountant, σ calibration
+//   - internal/gnn: GCN / GraphSAGE / GAT / GRAT / GIN over tape autodiff
+//   - internal/diffusion: IC / LT / SIS cascade simulation
+//   - internal/im: CELF, greedy, degree heuristics, RIS
+//   - internal/privim: the trainer, baselines, and parameter indicator
+//   - internal/expt: the benchmark harness reproducing every table/figure
+package privim
+
+import (
+	"io"
+
+	"privim/internal/audit"
+	"privim/internal/dataset"
+	"privim/internal/diffusion"
+	"privim/internal/dp"
+	"privim/internal/gnn"
+	"privim/internal/graph"
+	"privim/internal/im"
+	core "privim/internal/privim"
+)
+
+// Graph types.
+type (
+	// Graph is a directed weighted influence graph.
+	Graph = graph.Graph
+	// NodeID indexes nodes within a Graph.
+	NodeID = graph.NodeID
+	// Subgraph is a node-induced subgraph with parent-ID mapping.
+	Subgraph = graph.Subgraph
+)
+
+// NewGraph returns an empty graph; directed selects arc semantics.
+func NewGraph(directed bool) *Graph { return graph.New(directed) }
+
+// NewGraphWithNodes returns a graph with n isolated nodes.
+func NewGraphWithNodes(n int, directed bool) *Graph { return graph.NewWithNodes(n, directed) }
+
+// Dataset types.
+type (
+	// Dataset bundles a generated graph with its train/test split.
+	Dataset = dataset.Dataset
+	// DatasetOptions control synthetic dataset generation.
+	DatasetOptions = dataset.Options
+	// Preset names one of the paper's evaluation datasets.
+	Preset = dataset.Preset
+)
+
+// The six Table I presets plus the Friendster surrogate.
+const (
+	Email      = dataset.Email
+	Bitcoin    = dataset.Bitcoin
+	LastFM     = dataset.LastFM
+	HepPh      = dataset.HepPh
+	Facebook   = dataset.Facebook
+	Gowalla    = dataset.Gowalla
+	Friendster = dataset.Friendster
+)
+
+// GenerateDataset builds the surrogate dataset for a preset.
+func GenerateDataset(p Preset, opts DatasetOptions) (*Dataset, error) {
+	return dataset.Generate(p, opts)
+}
+
+// LoadSNAP parses a real SNAP-format edge list ('#' comments, whitespace
+// "from to" pairs, sparse IDs remapped densely) so downloaded originals of
+// the paper's datasets run through the same pipeline as the surrogates.
+func LoadSNAP(r io.Reader, directed bool) (*Graph, error) {
+	return dataset.LoadSNAP(r, directed)
+}
+
+// DatasetFromGraph wraps an externally loaded graph into a Dataset with
+// the paper's 50/50 split and influence weighting.
+func DatasetFromGraph(name Preset, g *Graph, opts DatasetOptions) *Dataset {
+	return dataset.FromGraph(name, g, opts)
+}
+
+// Core framework types.
+type (
+	// Config assembles every knob of the training pipeline.
+	Config = core.Config
+	// Mode selects a method (PrivIM*, PrivIM, baselines).
+	Mode = core.Mode
+	// Result is a trained model plus its privacy accounting.
+	Result = core.Result
+	// Indicator is the Gamma-pdf parameter-selection indicator (§IV-C).
+	Indicator = core.Indicator
+)
+
+// Method modes.
+const (
+	ModeNaive      = core.ModeNaive
+	ModeSCS        = core.ModeSCS
+	ModeDual       = core.ModeDual
+	ModeNonPrivate = core.ModeNonPrivate
+	ModeEGN        = core.ModeEGN
+	ModeHP         = core.ModeHP
+	ModeHPGRAT     = core.ModeHPGRAT
+)
+
+// Objective selects the training loss.
+type Objective = core.Objective
+
+// Training objectives (§VI-C: the framework generalizes beyond IM).
+const (
+	ObjectiveIM       = core.ObjectiveIM
+	ObjectiveMaxCover = core.ObjectiveMaxCover
+)
+
+// Train runs the configured method's full pipeline on the training graph.
+func Train(g *Graph, cfg Config) (*Result, error) { return core.Train(g, cfg) }
+
+// DefaultIndicator returns the paper's fitted indicator parameters.
+func DefaultIndicator() Indicator { return core.DefaultIndicator() }
+
+// GNN architectures.
+type GNNKind = gnn.Kind
+
+// Supported GNN architectures (§V-E / Appendix G).
+const (
+	GCN       = gnn.GCN
+	GraphSAGE = gnn.GraphSAGE
+	GAT       = gnn.GAT
+	GRAT      = gnn.GRAT
+	GIN       = gnn.GIN
+)
+
+// Diffusion models.
+type (
+	// DiffusionModel simulates influence cascades.
+	DiffusionModel = diffusion.Model
+	// IC is the Independent Cascade model (Definition 6).
+	IC = diffusion.IC
+	// LT is the Linear Threshold model.
+	LT = diffusion.LT
+	// SIS is the Susceptible-Infectious-Susceptible model.
+	SIS = diffusion.SIS
+)
+
+// EstimateSpread Monte-Carlo-estimates the influence spread of seeds.
+func EstimateSpread(m DiffusionModel, seeds []NodeID, rounds int, seed int64) float64 {
+	return diffusion.Estimate(m, seeds, rounds, seed)
+}
+
+// Classical IM solvers.
+type (
+	// CELF is the lazy-greedy ground-truth solver.
+	CELF = im.CELF
+	// DegreeSolver is the top-degree heuristic.
+	DegreeSolver = im.Degree
+	// RIS is the reverse-influence-sampling baseline.
+	RIS = im.RIS
+)
+
+// CoverageRatio is the paper's |V_method| / |V_CELF| metric in percent.
+func CoverageRatio(methodSpread, celfSpread float64) float64 {
+	return im.CoverageRatio(methodSpread, celfSpread)
+}
+
+// TopKScores selects the k highest-scoring nodes from a score vector.
+func TopKScores(scores []float64, k int) []NodeID { return im.TopKScores(scores, k) }
+
+// Privacy accounting.
+type (
+	// Accountant is the Theorem 3 Rényi-DP accountant.
+	Accountant = dp.Accountant
+)
+
+// CalibrateSigma finds the smallest noise multiplier meeting an (ε, δ)
+// target for T iterations of Algorithm 2.
+func CalibrateSigma(targetEps, delta float64, t, b, m, ng int) (float64, error) {
+	return dp.CalibrateSigma(targetEps, delta, t, b, m, ng)
+}
+
+// IMM is the martingale-based sampling solver (Tang et al., SIGMOD 2015).
+type IMM = im.IMM
+
+// StaticGreedy is the snapshot (live-edge worlds + SCC reachability)
+// solver.
+type StaticGreedy = im.StaticGreedy
+
+// NoisyGreedy is the Example-2 strawman: Laplace-noised greedy whose
+// network-scale sensitivity destroys utility — kept for demonstrations.
+type NoisyGreedy = im.NoisyGreedy
+
+// DegreeDiscount is the overlap-correcting degree heuristic.
+type DegreeDiscount = im.DegreeDiscount
+
+// Privacy auditing.
+type (
+	// AuditConfig configures the DP distinguishing game.
+	AuditConfig = audit.Config
+	// AuditReport is the game's outcome: attacker accuracy and the
+	// Clopper-Pearson empirical ε lower bound.
+	AuditReport = audit.Report
+)
+
+// Audit plays the node-level DP distinguishing game against a training
+// pipeline and reports the empirical leakage bounds.
+func Audit(g *Graph, cfg AuditConfig) (*AuditReport, error) { return audit.Run(g, cfg) }
+
+// GNN model persistence.
+
+// LoadModel reads a checkpoint written by Result.Model.Save.
+func LoadModel(r io.Reader) (*gnn.Model, error) { return gnn.Load(r) }
+
+// Graph metrics (Table I style structural summaries).
+
+// ClusteringCoefficient returns the average local clustering coefficient.
+func ClusteringCoefficient(g *Graph) float64 { return graph.ClusteringCoefficient(g) }
+
+// KCore returns each node's core number.
+func KCore(g *Graph) []int { return graph.KCore(g) }
+
+// Combinatorial-optimization extensions (§VI-C).
+
+// GreedyMaxCover is the (1−1/e) greedy max-coverage reference.
+func GreedyMaxCover(g *Graph, k int) []NodeID { return gnn.GreedyMaxCover(g, k) }
+
+// CoverageValue evaluates a chosen set's coverage.
+func CoverageValue(g *Graph, chosen []NodeID) int { return gnn.CoverageValue(g, chosen) }
