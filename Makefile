@@ -13,11 +13,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/privim/ ./internal/diffusion/ ./internal/expt/
+	$(GO) test -race ./internal/obs/ ./internal/privim/ ./internal/diffusion/ ./internal/expt/
 
 cover:
 	$(GO) test -cover ./...

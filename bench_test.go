@@ -17,6 +17,7 @@ import (
 	"privim/internal/expt"
 	"privim/internal/graph"
 	"privim/internal/im"
+	"privim/internal/obs"
 	core "privim/internal/privim"
 	"privim/internal/sampling"
 )
@@ -320,6 +321,37 @@ func BenchmarkDPSGDIteration(b *testing.B) {
 		}
 		if math.IsNaN(res.Sigma) {
 			b.Fatal("NaN sigma")
+		}
+	}
+}
+
+// BenchmarkTrainNoObserver pins the observability zero-cost contract: a
+// Config with a nil Observer must train at full speed, and the emit
+// helpers must be allocation-free when unobserved (the boxing happens
+// behind the nil check, so escape analysis removes it entirely).
+func BenchmarkTrainNoObserver(b *testing.B) {
+	if n := testing.AllocsPerRun(1000, func() {
+		obs.Emit(nil, obs.IterationEnd{Iter: 1, Loss: 0.5, GradNorm: 2})
+		obs.StartSpan(nil, "bench").Child("inner").End()
+	}); n != 0 {
+		b.Fatalf("nil-observer emit allocates %v per op, want 0", n)
+	}
+	ds, err := dataset.Generate(dataset.Email, dataset.Options{Scale: 0.2, Seed: 1, InfluenceProb: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ds.TrainSubgraph().G
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Train(g, core.Config{
+			Mode: core.ModeDual, Epsilon: 3, Iterations: 5,
+			SubgraphSize: 12, HiddenDim: 16, Layers: 2, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.NoisyLossHistory) != 5 {
+			b.Fatalf("got %d noisy losses", len(res.NoisyLossHistory))
 		}
 	}
 }

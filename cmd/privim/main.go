@@ -6,6 +6,7 @@
 //
 //	privim -preset lastfm -scale 0.05 -mode privim* -eps 3 -k 10
 //	privim -graph my.edges -mode privim -eps 1 -k 20
+//	privim -journal run.jsonl -debug-addr localhost:6060 -preset email
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"privim/internal/gnn"
 	"privim/internal/graph"
 	"privim/internal/im"
+	"privim/internal/obs"
 	"privim/internal/privim"
 	"privim/internal/tensor"
 )
@@ -41,8 +43,16 @@ func main() {
 		steps     = flag.Int("j", 1, "diffusion steps for evaluation and loss")
 		savePath  = flag.String("save", "", "write the trained model checkpoint to this path")
 		loadPath  = flag.String("load", "", "skip training and score with this checkpoint")
+		journal   = flag.String("journal", "", "append a JSONL event journal (spans, per-iteration loss/ε, MC batches) to this path")
+		debugAddr = flag.String("debug-addr", "", "serve live metrics (expvar /debug/vars) and pprof (/debug/pprof/) on host:port")
 	)
 	flag.Parse()
+
+	observer, flush, err := setupObserver(*journal, *debugAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer flush()
 
 	g, err := loadGraph(*graphPath, *preset, *scale, *seed)
 	if err != nil {
@@ -60,6 +70,7 @@ func main() {
 		Iterations:   *iters,
 		LossSteps:    *steps,
 		Seed:         *seed,
+		Observer:     observer,
 	}
 	if *gnnKind != "" {
 		cfg.GNNKind = gnn.Kind(*gnnKind)
@@ -88,15 +99,51 @@ func main() {
 		seeds = res.SelectSeeds(g, *k)
 	}
 	model := &diffusion.IC{G: g, MaxSteps: *steps}
-	spread := diffusion.Estimate(model, seeds, 10, *seed)
+	spread := diffusion.EstimateObserved(model, seeds, 10, *seed, observer)
 	fmt.Printf("selected %d seeds: %v\n", len(seeds), seeds)
 	fmt.Printf("influence spread (j=%d): %.2f of %d nodes\n", *steps, spread, g.NumNodes())
 
 	if *compare {
-		celf := &im.CELF{Model: model, Rounds: 10, Seed: *seed, NumNodes: g.NumNodes()}
+		celf := &im.CELF{Model: model, Rounds: 10, Seed: *seed, NumNodes: g.NumNodes(), Obs: observer}
 		ref := diffusion.Estimate(model, celf.Select(*k), 10, *seed)
 		fmt.Printf("CELF reference spread: %.2f  coverage ratio: %.2f%%\n", ref, im.CoverageRatio(spread, ref))
 	}
+}
+
+// setupObserver assembles the observability stack the -journal and
+// -debug-addr flags request: a JSONL journal sink, and/or a metrics
+// registry published via expvar behind a pprof-enabled debug listener.
+// The returned flush must run before exit to drain the journal buffer.
+func setupObserver(journal, debugAddr string) (obs.Observer, func(), error) {
+	var observers []obs.Observer
+	flush := func() {}
+	if journal != "" {
+		f, err := os.Create(journal)
+		if err != nil {
+			return nil, flush, err
+		}
+		sink := obs.NewJSONLSink(f)
+		observers = append(observers, sink)
+		flush = func() {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "privim: journal:", err)
+			}
+			f.Close()
+		}
+	}
+	if debugAddr != "" {
+		reg := obs.NewRegistry()
+		if err := reg.Publish("privim"); err != nil {
+			return nil, flush, err
+		}
+		addr, err := obs.StartDebugServer(debugAddr)
+		if err != nil {
+			return nil, flush, err
+		}
+		fmt.Printf("debug server: http://%s/debug/vars (metrics), http://%s/debug/pprof/ (profiles)\n", addr, addr)
+		observers = append(observers, reg)
+	}
+	return obs.Multi(observers...), flush, nil
 }
 
 func loadGraph(path, preset string, scale float64, seed int64) (*graph.Graph, error) {

@@ -10,8 +10,10 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"privim/internal/graph"
+	"privim/internal/obs"
 )
 
 // Model simulates one cascade from a seed set and reports the number of
@@ -188,14 +190,27 @@ func (m *SIS) Simulate(seeds []graph.NodeID, rng *rand.Rand) int {
 // the result is deterministic for a fixed seed and rounds because each
 // round derives its own rng from the round index.
 func Estimate(model Model, seeds []graph.NodeID, rounds int, seed int64) float64 {
+	return EstimateObserved(model, seeds, rounds, seed, nil)
+}
+
+// EstimateObserved is Estimate with live telemetry: when o is non-nil it
+// emits one MCBatchDone event carrying the batch's throughput and its
+// cascade-size histogram. A nil observer adds one predictable branch per
+// round and no allocations — Estimate simply calls through.
+func EstimateObserved(model Model, seeds []graph.NodeID, rounds int, seed int64, o obs.Observer) float64 {
 	if rounds < 1 {
 		panic(fmt.Sprintf("diffusion: Estimate rounds = %d", rounds))
 	}
+	start := time.Now()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > rounds {
 		workers = rounds
 	}
 	totals := make([]int64, workers)
+	var sizes [][obs.NumBuckets]uint64
+	if o != nil {
+		sizes = make([][obs.NumBuckets]uint64, workers)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -204,7 +219,11 @@ func Estimate(model Model, seeds []graph.NodeID, rounds int, seed int64) float64
 			var local int64
 			for r := w; r < rounds; r += workers {
 				rng := rand.New(rand.NewSource(seed + int64(r)*1_000_003))
-				local += int64(model.Simulate(seeds, rng))
+				n := model.Simulate(seeds, rng)
+				local += int64(n)
+				if o != nil {
+					sizes[w][obs.BucketIndex(float64(n))]++
+				}
 			}
 			totals[w] = local
 		}(w)
@@ -214,7 +233,25 @@ func Estimate(model Model, seeds []graph.NodeID, rounds int, seed int64) float64
 	for _, v := range totals {
 		sum += v
 	}
-	return float64(sum) / float64(rounds)
+	mean := float64(sum) / float64(rounds)
+	if o != nil {
+		ev := obs.MCBatchDone{
+			Model:      model.Name(),
+			Rounds:     rounds,
+			MeanSpread: mean,
+			Elapsed:    time.Since(start),
+		}
+		if secs := ev.Elapsed.Seconds(); secs > 0 {
+			ev.SimsPerSec = float64(rounds) / secs
+		}
+		for _, s := range sizes {
+			for i, c := range s {
+				ev.SizeBuckets[i] += c
+			}
+		}
+		o.Emit(ev)
+	}
+	return mean
 }
 
 // EstimateMany evaluates the spread of several seed sets, reusing the

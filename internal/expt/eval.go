@@ -51,6 +51,7 @@ func newEval(p dataset.Preset, s Settings, seed int64) (*evalContext, error) {
 		Rounds:   s.MCRounds,
 		Seed:     seed,
 		NumNodes: e.testG.NumNodes(),
+		Obs:      s.Observer,
 	}
 	e.celfSeeds = celf.Select(e.k)
 	e.celfSpread = e.spread(e.celfSeeds, seed)
@@ -68,7 +69,7 @@ func (e *evalContext) model() diffusion.Model {
 
 // spread estimates the influence spread of a seed set on the test graph.
 func (e *evalContext) spread(seeds []graph.NodeID, seed int64) float64 {
-	return diffusion.Estimate(e.model(), seeds, e.settings.MCRounds, seed)
+	return diffusion.EstimateObserved(e.model(), seeds, e.settings.MCRounds, seed, e.settings.Observer)
 }
 
 // trainConfig builds a privim.Config for the given method and budget.
@@ -85,6 +86,7 @@ func (e *evalContext) trainConfig(mode privim.Mode, eps float64, seed int64) pri
 		BatchSize:    e.settings.BatchSize,
 		LossSteps:    e.settings.DiffusionSteps,
 		Seed:         seed,
+		Observer:     e.settings.Observer,
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"privim/internal/dataset"
+	"privim/internal/obs"
 )
 
 // Settings parameterize a whole experiment suite run.
@@ -53,6 +54,11 @@ type Settings struct {
 
 	// Seed is the master seed; run r of a sweep uses Seed + r·prime.
 	Seed int64
+
+	// Observer, when non-nil, receives live events from every training
+	// run, spread estimation, and CELF selection the suite performs (see
+	// internal/obs); imbench's -journal/-debug-addr flags set it.
+	Observer obs.Observer
 }
 
 // Quick returns the laptop-scale settings used by the benchmark harness:

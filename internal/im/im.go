@@ -13,6 +13,7 @@ import (
 
 	"privim/internal/diffusion"
 	"privim/internal/graph"
+	"privim/internal/obs"
 )
 
 // Solver selects a seed set of size k for a diffusion model.
@@ -64,6 +65,11 @@ type CELF struct {
 	// Evaluations counts spread estimates performed by the last Select call
 	// (exported for the lazy-evaluation efficiency tests).
 	Evaluations int
+
+	// Obs, when non-nil, receives one SeedSelected event per pick,
+	// carrying the marginal gain and the cumulative number of spread
+	// estimates lazy evaluation saved versus plain greedy.
+	Obs obs.Observer
 }
 
 // Name implements Solver.
@@ -109,6 +115,20 @@ func (c *CELF) Select(k int) []graph.NodeID {
 			// Gain is exact for the current seed set: take it.
 			seeds = append(seeds, top.node)
 			base += top.gain
+			if c.Obs != nil {
+				// Plain greedy evaluates every remaining candidate on each
+				// pick: Σ_{j=0..picks-1}(n−j) estimates so far. The lazy
+				// queue's saving is the gap to our actual evaluation count.
+				picks := len(seeds)
+				greedyEvals := picks*len(cands) - picks*(picks-1)/2
+				obs.Emit(c.Obs, obs.SeedSelected{
+					K:            len(seeds),
+					Node:         int64(top.node),
+					MarginalGain: top.gain,
+					Evaluations:  c.Evaluations,
+					LookupsSaved: greedyEvals - c.Evaluations,
+				})
+			}
 			continue
 		}
 		// Stale: re-evaluate against the current seed set and push back.
@@ -127,6 +147,12 @@ type Greedy struct {
 	Rounds   int
 	Seed     int64
 	NumNodes int
+
+	// Evaluations counts spread estimates performed by the last Select
+	// call (the baseline CELF's LookupsSaved is measured against).
+	Evaluations int
+	// Obs, when non-nil, receives one SeedSelected event per pick.
+	Obs obs.Observer
 }
 
 // Name implements Solver.
@@ -141,8 +167,10 @@ func (g *Greedy) Select(k int) []graph.NodeID {
 	if rounds < 1 {
 		rounds = 100
 	}
+	g.Evaluations = 0
 	chosen := make(map[graph.NodeID]bool, k)
 	seeds := make([]graph.NodeID, 0, k)
+	base := 0.0
 	for len(seeds) < k {
 		bestGain := -1.0
 		var best graph.NodeID
@@ -152,6 +180,7 @@ func (g *Greedy) Select(k int) []graph.NodeID {
 			}
 			cand := append(append([]graph.NodeID{}, seeds...), graph.NodeID(v))
 			gain := diffusion.Estimate(g.Model, cand, rounds, g.Seed)
+			g.Evaluations++
 			if gain > bestGain {
 				bestGain = gain
 				best = graph.NodeID(v)
@@ -159,6 +188,15 @@ func (g *Greedy) Select(k int) []graph.NodeID {
 		}
 		chosen[best] = true
 		seeds = append(seeds, best)
+		if g.Obs != nil {
+			obs.Emit(g.Obs, obs.SeedSelected{
+				K:            len(seeds),
+				Node:         int64(best),
+				MarginalGain: bestGain - base,
+				Evaluations:  g.Evaluations,
+			})
+		}
+		base = bestGain
 	}
 	return seeds
 }

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+
+	// Register /debug/pprof/* on the default mux; /debug/vars comes from
+	// the expvar import in registry.go. Both are only reachable once
+	// StartDebugServer is called (the CLIs gate it behind -debug-addr).
+	_ "net/http/pprof"
+)
+
+// StartDebugServer serves the process debug endpoints — expvar at
+// /debug/vars (including any published Registry) and pprof at
+// /debug/pprof/ — on addr in a background goroutine. It returns the
+// bound address (useful with ":0") once the listener is live, so callers
+// can print a working URL immediately.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, http.DefaultServeMux) //nolint:errcheck // lives until process exit
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Record is the wire format of one journal line: the event kind, a
+// nanosecond wall-clock timestamp, and the event payload. Kind doubles
+// as the discriminator DecodeRecord uses to recover the concrete type.
+type Record struct {
+	Kind string          `json:"event"`
+	TS   int64           `json:"ts_unix_ns"`
+	Data json.RawMessage `json:"data"`
+}
+
+// JSONLSink is an Observer that appends one JSON line per event to a
+// writer — the run journal. It buffers internally; call Flush (or Close)
+// before reading the output. Safe for concurrent Emit.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+}
+
+// NewJSONLSink wraps w in a journal writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{bw: bufio.NewWriter(w)}
+}
+
+// Emit implements Observer. Marshal or write errors are sticky and
+// reported by Err; subsequent events are dropped after the first error.
+func (s *JSONLSink) Emit(e Event) {
+	data, err := json.Marshal(e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	line, err := json.Marshal(Record{Kind: e.EventKind(), TS: time.Now().UnixNano(), Data: data})
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.bw.Write(append(line, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// Err returns the first error encountered, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// DecodeRecord parses one journal line back into its typed event — the
+// inverse of Emit, used by journal consumers and the round-trip tests.
+func DecodeRecord(line []byte) (Event, time.Time, error) {
+	var rec Record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return nil, time.Time{}, err
+	}
+	ts := time.Unix(0, rec.TS)
+	var ev Event
+	switch rec.Kind {
+	case SpanStart{}.EventKind():
+		ev = &SpanStart{}
+	case SpanEnd{}.EventKind():
+		ev = &SpanEnd{}
+	case IterationEnd{}.EventKind():
+		ev = &IterationEnd{}
+	case MCBatchDone{}.EventKind():
+		ev = &MCBatchDone{}
+	case SeedSelected{}.EventKind():
+		ev = &SeedSelected{}
+	case ExtractionDone{}.EventKind():
+		ev = &ExtractionDone{}
+	default:
+		return nil, ts, fmt.Errorf("obs: unknown event kind %q", rec.Kind)
+	}
+	if err := json.Unmarshal(rec.Data, ev); err != nil {
+		return nil, ts, err
+	}
+	return ev, ts, nil
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every histogram in this
+// package. Bucket 0 holds values below 1 (including negatives); bucket i
+// for 1 ≤ i ≤ NumBuckets−2 holds [2^(i−1), 2^i); the last bucket holds
+// everything from 2^(NumBuckets−2) up (≈ 4.2M), wide enough for walk
+// lengths, cascade sizes, gradient norms, and span microseconds alike.
+const NumBuckets = 24
+
+// BucketIndex maps a value to its log-scale bucket.
+func BucketIndex(v float64) int {
+	if v < 1 || math.IsNaN(v) {
+		return 0
+	}
+	// Ilogb(v) = floor(log2(v)) for finite v ≥ 1, so [2^(i-1), 2^i)
+	// lands in bucket i.
+	i := math.Ilogb(v) + 1
+	if i > NumBuckets-1 || i < 1 { // i < 1 guards Ilogb's ±Inf sentinels
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i (+Inf for
+// the overflow bucket); it panics on out-of-range indices.
+func BucketUpper(i int) float64 {
+	switch {
+	case i < 0 || i >= NumBuckets:
+		panic("obs: bucket index out of range")
+	case i == NumBuckets-1:
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, i) // 2^i; bucket 0's bound is 2^0 = 1
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 sample.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value (0 before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed log-scale-bucket histogram safe for concurrent
+// observation.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[BucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.addSum(v)
+}
+
+func (h *Histogram) addSum(v float64) {
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Merge folds a pre-bucketed batch (as carried by MCBatchDone and
+// ExtractionDone events) into the histogram. sum may be 0 when the
+// producer only tracked buckets; Mean then underestimates accordingly.
+func (h *Histogram) Merge(buckets [NumBuckets]uint64, sum float64) {
+	var n uint64
+	for i, b := range buckets {
+		if b != 0 {
+			h.buckets[i].Add(b)
+			n += b
+		}
+	}
+	h.count.Add(n)
+	if sum != 0 {
+		h.addSum(sum)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns Sum/Count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Buckets snapshots the bucket counts.
+func (h *Histogram) Buckets() [NumBuckets]uint64 {
+	var out [NumBuckets]uint64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// HistogramSnapshot is the JSON-friendly view Registry.Snapshot exports.
+type HistogramSnapshot struct {
+	Count   uint64             `json:"count"`
+	Sum     float64            `json:"sum"`
+	Mean    float64            `json:"mean"`
+	Buckets [NumBuckets]uint64 `json:"buckets"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Mean:    h.Mean(),
+		Buckets: h.Buckets(),
+	}
+}

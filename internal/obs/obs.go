@@ -1,0 +1,186 @@
+// Package obs is the observability layer of the PrivIM pipeline: typed
+// training/selection events, a pluggable Observer interface, lock-free
+// counters/gauges/histograms, nested span timers, a JSONL run-journal
+// sink, and an in-memory metrics registry exportable via expvar.
+//
+// Design constraints:
+//
+//   - stdlib only, like the rest of the repo;
+//   - a nil Observer must cost nothing on the hot paths: every
+//     instrumentation site goes through the nil-checking Emit helper (or
+//     a nil *Span), so the interface boxing that building an event
+//     requires only happens once an observer is actually attached
+//     (verified by BenchmarkTrainNoObserver at the repo root);
+//   - events are plain data (no callbacks into pipeline internals), so
+//     sinks can serialize, aggregate, or forward them freely.
+package obs
+
+import "time"
+
+// Event is one typed occurrence inside the pipeline. The concrete types
+// below form the whole taxonomy; EventKind returns the stable wire name
+// used by the JSONL journal.
+type Event interface {
+	EventKind() string
+}
+
+// Observer consumes pipeline events. Implementations must be safe for
+// concurrent use: diffusion estimation and per-sample gradient passes
+// emit from worker goroutines.
+type Observer interface {
+	Emit(Event)
+}
+
+// Emit forwards ev to o when o is non-nil. The generic parameter keeps
+// the event → interface conversion inside the non-nil branch, so calling
+// Emit with a nil observer performs zero allocations — the contract the
+// instrumentation sites in internal/privim, internal/diffusion,
+// internal/im, and internal/sampling rely on.
+func Emit[E Event](o Observer, ev E) {
+	if o == nil {
+		return
+	}
+	o.Emit(ev)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Emit implements Observer.
+func (f ObserverFunc) Emit(e Event) { f(e) }
+
+// Multi fans events out to every non-nil observer. It returns nil when
+// none remain (so the result stays no-op-cheap) and the sole observer
+// when only one remains (skipping the fan-out indirection).
+func Multi(os ...Observer) Observer {
+	live := make([]Observer, 0, len(os))
+	for _, o := range os {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multi(live)
+}
+
+type multi []Observer
+
+func (m multi) Emit(e Event) {
+	for _, o := range m {
+		o.Emit(e)
+	}
+}
+
+// SpanStart marks the opening of a timed span. Parent is the ID of the
+// enclosing span (0 for roots), giving sinks the full nesting tree.
+type SpanStart struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Span   string `json:"span"`
+}
+
+// EventKind implements Event.
+func (SpanStart) EventKind() string { return "span_start" }
+
+// SpanEnd closes a span opened by SpanStart with the same ID.
+type SpanEnd struct {
+	ID      uint64        `json:"id"`
+	Parent  uint64        `json:"parent,omitempty"`
+	Span    string        `json:"span"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// EventKind implements Event.
+func (SpanEnd) EventKind() string { return "span_end" }
+
+// IterationEnd reports one DP-SGD iteration of Algorithm 2 (Module 3).
+type IterationEnd struct {
+	// Iter is the 0-based iteration index.
+	Iter int `json:"iter"`
+	// Loss is the mean per-sample training loss before noise (what the
+	// model optimizes; mirrors Result.LossHistory).
+	Loss float64 `json:"loss"`
+	// NoisyLoss is the same batch's loss re-evaluated after the noisy
+	// update (mirrors Result.NoisyLossHistory); the gap to Loss shows the
+	// damage DP noise does to this step.
+	NoisyLoss float64 `json:"noisy_loss"`
+	// GradNorm is the mean per-sample pre-clip gradient l2 norm.
+	GradNorm float64 `json:"grad_norm"`
+	// ClipFraction is the fraction of batch samples whose gradient
+	// exceeded the clip bound C.
+	ClipFraction float64 `json:"clip_fraction"`
+	// EpsilonSpent is the accountant's (ε, δ) guarantee for the
+	// iterations completed so far (0 for non-private runs); it is
+	// monotone nondecreasing across a run and its final value equals
+	// Result.EpsilonSpent.
+	EpsilonSpent float64 `json:"epsilon_spent"`
+}
+
+// EventKind implements Event.
+func (IterationEnd) EventKind() string { return "iteration_end" }
+
+// MCBatchDone reports one completed Monte-Carlo spread estimation batch.
+type MCBatchDone struct {
+	// Model is the diffusion model name ("ic", "lt", "sis").
+	Model string `json:"model"`
+	// Rounds is the number of simulations in the batch.
+	Rounds int `json:"rounds"`
+	// MeanSpread is the batch's spread estimate.
+	MeanSpread float64 `json:"mean_spread"`
+	// Elapsed is the wall-clock batch duration.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// SimsPerSec is the batch's simulation throughput.
+	SimsPerSec float64 `json:"sims_per_sec"`
+	// SizeBuckets is the cascade-size histogram of the batch on the
+	// package's log-scale buckets (see BucketIndex).
+	SizeBuckets [NumBuckets]uint64 `json:"size_buckets"`
+}
+
+// EventKind implements Event.
+func (MCBatchDone) EventKind() string { return "mc_batch_done" }
+
+// SeedSelected reports one seed picked by a greedy/CELF IM solver.
+type SeedSelected struct {
+	// K is the 1-based position of this seed in the selection order.
+	K int `json:"k"`
+	// Node is the selected node ID.
+	Node int64 `json:"node"`
+	// MarginalGain is the node's marginal spread gain when picked.
+	MarginalGain float64 `json:"marginal_gain"`
+	// Evaluations is the solver's cumulative spread-estimate count.
+	Evaluations int `json:"evaluations"`
+	// LookupsSaved is the cumulative number of spread estimates lazy
+	// evaluation skipped versus plain greedy (0 for non-lazy solvers).
+	LookupsSaved int `json:"lookups_saved"`
+}
+
+// EventKind implements Event.
+func (SeedSelected) EventKind() string { return "seed_selected" }
+
+// ExtractionDone reports one subgraph-extraction pass (Module 1).
+type ExtractionDone struct {
+	// Stage names the extraction scheme: "rwr" (Algorithm 1), "scs" /
+	// "bes" (the two stages of Algorithm 3).
+	Stage string `json:"stage"`
+	// Subgraphs is the number of subgraphs the stage emitted.
+	Subgraphs int `json:"subgraphs"`
+	// Walks is the number of random walks started (including walks that
+	// failed to collect a full subgraph).
+	Walks int `json:"walks"`
+	// MaxOccurrence is the audited maximum per-node subgraph count after
+	// this stage.
+	MaxOccurrence int `json:"max_occurrence"`
+	// WalkLenBuckets histograms the steps consumed per walk.
+	WalkLenBuckets [NumBuckets]uint64 `json:"walk_len_buckets"`
+	// OccurrenceBuckets histograms the per-node occurrence counts of
+	// nodes appearing in at least one subgraph.
+	OccurrenceBuckets [NumBuckets]uint64 `json:"occurrence_buckets"`
+}
+
+// EventKind implements Event.
+func (ExtractionDone) EventKind() string { return "extraction_done" }

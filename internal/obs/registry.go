@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Registry is a named-metric store and an Observer that aggregates the
+// event stream into live counters, gauges, and histograms — the
+// in-memory snapshot a debug endpoint exports while a run is in flight.
+//
+// Metric handles are get-or-create and stable, so hot paths can cache
+// them; Snapshot is cheap enough to serve per scrape.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Emit implements Observer: every event updates a standard set of
+// metrics, keyed by subsystem ("train.*", "diffusion.*", "im.*",
+// "sampling.*", "span.*").
+func (r *Registry) Emit(e Event) {
+	switch ev := e.(type) {
+	case SpanStart:
+		r.Counter("span.open").Inc()
+	case SpanEnd:
+		r.Counter("span.open").Add(-1)
+		r.Counter("span.closed").Inc()
+		r.Histogram("span." + ev.Span + ".us").Observe(float64(ev.Elapsed) / float64(time.Microsecond))
+	case IterationEnd:
+		r.Counter("train.iterations").Inc()
+		r.Gauge("train.loss").Set(ev.Loss)
+		r.Gauge("train.noisy_loss").Set(ev.NoisyLoss)
+		r.Gauge("train.epsilon_spent").Set(ev.EpsilonSpent)
+		r.Gauge("train.clip_fraction").Set(ev.ClipFraction)
+		r.Histogram("train.grad_norm").Observe(ev.GradNorm)
+	case MCBatchDone:
+		r.Counter("diffusion.batches").Inc()
+		r.Counter("diffusion.simulations").Add(int64(ev.Rounds))
+		r.Gauge("diffusion.sims_per_sec").Set(ev.SimsPerSec)
+		r.Gauge("diffusion.mean_spread").Set(ev.MeanSpread)
+		r.Histogram("diffusion.cascade_size").Merge(ev.SizeBuckets, ev.MeanSpread*float64(ev.Rounds))
+	case SeedSelected:
+		r.Counter("im.seeds_selected").Inc()
+		r.Gauge("im.marginal_gain").Set(ev.MarginalGain)
+		r.Gauge("im.evaluations").Set(float64(ev.Evaluations))
+		r.Gauge("im.lookups_saved").Set(float64(ev.LookupsSaved))
+	case ExtractionDone:
+		r.Counter("sampling.extractions").Inc()
+		r.Counter("sampling.subgraphs").Add(int64(ev.Subgraphs))
+		r.Counter("sampling.walks").Add(int64(ev.Walks))
+		r.Gauge("sampling.max_occurrence").Set(float64(ev.MaxOccurrence))
+		r.Histogram("sampling.walk_len").Merge(ev.WalkLenBuckets, 0)
+		r.Histogram("sampling.occurrences").Merge(ev.OccurrenceBuckets, 0)
+	}
+}
+
+// Snapshot returns a JSON-serializable view of every metric.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Publish exports the registry's live snapshot under name in the
+// process-wide expvar namespace (served at /debug/vars by the debug
+// endpoint). Publishing an already-taken name is an error rather than
+// the panic expvar.Publish raises.
+func (r *Registry) Publish(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar name %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return nil
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// spanSeq issues process-unique span IDs (starting at 1; 0 means "no
+// parent").
+var spanSeq atomic.Uint64
+
+// Span is a running timed section. Spans nest explicitly via Child, so
+// concurrent children of one parent are well-defined without any
+// goroutine-local state. A nil *Span (what StartSpan returns for a nil
+// observer) is a valid no-op receiver for Child and End, which keeps
+// instrumentation sites branch-free.
+type Span struct {
+	o      Observer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+}
+
+// StartSpan opens a root span on o, emitting SpanStart. Returns nil
+// (a no-op span) when o is nil.
+func StartSpan(o Observer, name string) *Span {
+	if o == nil {
+		return nil
+	}
+	s := &Span{o: o, id: spanSeq.Add(1), name: name, start: time.Now()}
+	o.Emit(SpanStart{ID: s.id, Span: name})
+	return s
+}
+
+// Child opens a nested span under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{o: s.o, id: spanSeq.Add(1), parent: s.id, name: name, start: time.Now()}
+	s.o.Emit(SpanStart{ID: c.id, Parent: s.id, Span: name})
+	return c
+}
+
+// End closes the span, emitting SpanEnd with the elapsed wall time.
+// Safe to call on a nil span; calling End twice emits twice (don't).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.o.Emit(SpanEnd{ID: s.id, Parent: s.parent, Span: s.name, Elapsed: time.Since(s.start)})
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"privim/internal/gnn"
+	"privim/internal/obs"
 )
 
 // Mode selects a method from the paper's competitor list.
@@ -91,6 +92,12 @@ type Config struct {
 	// Default 2 for private runs (decoupled decay with Adam lr keeps the
 	// equilibrium weight scale near 0.5), 0 for non-private.
 	WeightDecay float64
+
+	// Observer receives live pipeline events (spans over Modules 1–3,
+	// per-iteration loss/clip/ε telemetry, extraction histograms); see
+	// internal/obs for the taxonomy and sinks. nil (the default) disables
+	// all instrumentation at zero per-iteration cost.
+	Observer obs.Observer
 
 	Seed int64
 	// InitSeed, when nonzero, seeds parameter initialization separately

@@ -15,6 +15,7 @@ import (
 	"privim/internal/graph"
 	"privim/internal/im"
 	"privim/internal/nn"
+	"privim/internal/obs"
 	"privim/internal/sampling"
 	"privim/internal/tensor"
 )
@@ -49,6 +50,14 @@ type Result struct {
 	// iteration (pre-noise, so it reflects what the model actually
 	// optimizes); useful for convergence diagnostics.
 	LossHistory []float64
+	// NoisyLossHistory records, for each iteration, the same batch's mean
+	// per-sample loss re-evaluated after the noisy parameter update
+	// (forward pass only). The gap to LossHistory[t] isolates how much
+	// the DP noise (plus the step itself) perturbed this batch's
+	// objective — the noise-impact diagnostic LossHistory alone cannot
+	// provide. For non-private runs it degenerates to the post-update
+	// loss.
+	NoisyLossHistory []float64
 }
 
 // Train runs the full pipeline of the configured method on the training
@@ -60,20 +69,27 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	o := cfg.Observer
+	root := obs.StartSpan(o, "train")
 
 	// Module 1: subgraph extraction.
+	m1 := root.Child("module1.extract")
 	preStart := time.Now()
 	container, bound, err := extractContainer(g, cfg, rng)
+	preprocess := time.Since(preStart)
+	m1.End()
 	if err != nil {
+		root.End()
 		return nil, err
 	}
-	preprocess := time.Since(preStart)
 	if container.Len() == 0 {
+		root.End()
 		return nil, fmt.Errorf("privim: extraction produced no subgraphs (|V|=%d, n=%d, q=%v)",
 			g.NumNodes(), cfg.SubgraphSize, cfg.SamplingRate)
 	}
 
 	// Module 2: privacy accounting.
+	m2 := root.Child("module2.account")
 	res := &Result{
 		Config:          cfg,
 		NumSubgraphs:    container.Len(),
@@ -86,6 +102,7 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 		batch = container.Len()
 	}
 	var sigma, noiseScale float64
+	var accountant dp.Accountant
 	if cfg.privatized() {
 		ngEff := bound
 		if ngEff > container.Len() {
@@ -93,16 +110,19 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 		}
 		sigma, err = dp.CalibrateSigma(cfg.Epsilon, cfg.Delta, cfg.Iterations, batch, container.Len(), ngEff)
 		if err != nil {
+			m2.End()
+			root.End()
 			return nil, err
 		}
 		noiseScale = sigma * dp.NodeSensitivity(cfg.ClipBound, ngEff)
 		res.Sigma = sigma
 		res.NoiseScale = noiseScale
 		res.Private = true
-		res.EpsilonSpent = dp.Accountant{M: container.Len(), B: batch, Ng: ngEff, Sigma: sigma}.
-			Epsilon(cfg.Iterations, cfg.Delta)
+		accountant = dp.Accountant{M: container.Len(), B: batch, Ng: ngEff, Sigma: sigma}
+		res.EpsilonSpent = accountant.Epsilon(cfg.Iterations, cfg.Delta)
 		res.OccurrenceBound = ngEff
 	}
+	m2.End()
 
 	// Module 3: DP-GNN training (Algorithm 2).
 	model, err := gnn.New(gnn.Config{
@@ -112,6 +132,7 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 		Layers:    cfg.Layers,
 	})
 	if err != nil {
+		root.End()
 		return nil, err
 	}
 	if cfg.InitSeed != 0 {
@@ -142,10 +163,13 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 			dataset.StructuralFeatures(s.G))
 	}
 
+	m3 := root.Child("module3.dpsgd")
 	trainStart := time.Now()
 	lossCfg := gnn.LossConfig{Steps: cfg.LossSteps, Lambda: cfg.Lambda}
 	res.LossHistory = make([]float64, 0, cfg.Iterations)
+	res.NoisyLossHistory = make([]float64, 0, cfg.Iterations)
 	batchLosses := make([]float64, batchForWorkers(cfg.BatchSize, container.Len()))
+	batchNorms := make([]float64, len(batchLosses))
 	for t := 0; t < cfg.Iterations; t++ {
 		sum.Zero()
 		// Draw the whole batch first so rng consumption is independent of
@@ -174,8 +198,12 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 					tp.Backward(loss)
 					batchLosses[b] = loss.Value.Data[0] / float64(s.G.NumNodes())
 					nn.Collect(boundParams, batchGrads[b])
-					if cfg.privatized() {
-						batchGrads[b].ClipL2(cfg.ClipBound)
+					switch {
+					case cfg.privatized():
+						// ClipL2 reports the pre-clip norm for free.
+						batchNorms[b] = batchGrads[b].ClipL2(cfg.ClipBound)
+					case o != nil:
+						batchNorms[b] = batchGrads[b].Norm2()
 					}
 				}
 			}(w)
@@ -186,7 +214,8 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 			sum.Add(1, batchGrads[b])
 			meanLoss += batchLosses[b]
 		}
-		res.LossHistory = append(res.LossHistory, meanLoss/float64(batch))
+		meanLoss /= float64(batch)
+		res.LossHistory = append(res.LossHistory, meanLoss)
 		if cfg.privatized() {
 			switch cfg.Mode {
 			case ModeHP, ModeHPGRAT:
@@ -208,11 +237,71 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 				}
 			}
 		}
+		noisyLoss := batchMeanLoss(model, container, features, picks, cfg, lossCfg, workers, batchLosses)
+		res.NoisyLossHistory = append(res.NoisyLossHistory, noisyLoss)
+		if o != nil {
+			var gradNorm, clipped float64
+			for b := 0; b < batch; b++ {
+				gradNorm += batchNorms[b]
+				if cfg.privatized() && batchNorms[b] > cfg.ClipBound {
+					clipped++
+				}
+			}
+			epsSpent := 0.0
+			if cfg.privatized() {
+				epsSpent = accountant.Epsilon(t+1, cfg.Delta)
+			}
+			obs.Emit(o, obs.IterationEnd{
+				Iter:         t,
+				Loss:         meanLoss,
+				NoisyLoss:    noisyLoss,
+				GradNorm:     gradNorm / float64(batch),
+				ClipFraction: clipped / float64(batch),
+				EpsilonSpent: epsSpent,
+			})
+		}
 	}
 	if cfg.Iterations > 0 {
 		res.PerEpoch = time.Since(trainStart) / time.Duration(cfg.Iterations)
 	}
+	m3.End()
+	root.End()
 	return res, nil
+}
+
+// batchMeanLoss re-evaluates the mean per-sample loss of an already-drawn
+// batch against the current parameters — a forward-only pass on the same
+// worker pool, recorded as the post-noise loss (Result.NoisyLossHistory).
+// scratch must have capacity for len(picks) entries and is clobbered.
+func batchMeanLoss(model *gnn.Model, container *sampling.Container, features []*tensor.Matrix,
+	picks []int, cfg Config, lossCfg gnn.LossConfig, workers int, scratch []float64) float64 {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := w; b < len(picks); b += workers {
+				idx := picks[b]
+				s := container.Subgraphs[idx]
+				tp := autodiff.NewTape()
+				boundParams := nn.Bind(tp, model.Params)
+				scores := model.Forward(tp, boundParams, s.G, features[idx])
+				var loss *autodiff.Node
+				if cfg.Objective == ObjectiveMaxCover {
+					loss = gnn.MaxCoverLoss(tp, s.G, scores, cfg.CoverBudget, 1)
+				} else {
+					loss = gnn.IMLoss(tp, s.G, scores, lossCfg)
+				}
+				scratch[b] = loss.Value.Data[0] / float64(s.G.NumNodes())
+			}
+		}(w)
+	}
+	wg.Wait()
+	mean := 0.0
+	for b := 0; b < len(picks); b++ {
+		mean += scratch[b]
+	}
+	return mean / float64(len(picks))
 }
 
 // batchForWorkers returns the effective batch size (clamped to the
@@ -247,6 +336,7 @@ func extractContainer(g *graph.Graph, cfg Config, rng *rand.Rand) (*sampling.Con
 			SamplingRate: cfg.SamplingRate,
 			WalkLength:   cfg.WalkLength,
 			Hops:         cfg.Layers,
+			Obs:          cfg.Observer,
 		}, rng)
 		if err != nil {
 			return nil, 0, err
@@ -263,6 +353,7 @@ func extractContainer(g *graph.Graph, cfg Config, rng *rand.Rand) (*sampling.Con
 			WalkLength:   cfg.WalkLength,
 			Threshold:    cfg.Threshold,
 			BESDivisor:   cfg.BESDivisor,
+			Obs:          cfg.Observer,
 		}
 		if cfg.Mode == ModeSCS {
 			fc.BESDivisor = 0

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"privim/internal/graph"
+	"privim/internal/obs"
 )
 
 // Container is the pool of extracted subgraphs used for mini-batch
@@ -126,6 +127,10 @@ type RWRConfig struct {
 	// Hops is r, the hop bound that keeps walks near the start node; it
 	// matches the GNN depth.
 	Hops int
+
+	// Obs, when non-nil, receives an ExtractionDone event summarizing the
+	// pass (walk-length and occurrence histograms); nil costs nothing.
+	Obs obs.Observer
 }
 
 func (c *RWRConfig) validate(n int) error {
@@ -146,6 +151,55 @@ func (c *RWRConfig) validate(n int) error {
 	return nil
 }
 
+// extractionStats accumulates the per-stage telemetry behind an
+// ExtractionDone event; a nil *extractionStats (unobserved run) is a
+// valid no-op receiver, so the walk loops stay branch-cheap.
+type extractionStats struct {
+	stage    string
+	walks    int
+	walkLens [obs.NumBuckets]uint64
+}
+
+// newExtractionStats returns nil when o is nil so all recording no-ops.
+func newExtractionStats(o obs.Observer, stage string) *extractionStats {
+	if o == nil {
+		return nil
+	}
+	return &extractionStats{stage: stage}
+}
+
+// walk records one random walk that consumed the given number of steps.
+func (st *extractionStats) walk(steps int) {
+	if st == nil {
+		return
+	}
+	st.walks++
+	st.walkLens[obs.BucketIndex(float64(steps))]++
+}
+
+// emit sends the stage summary. subgraphs counts this stage's output;
+// occ is the per-node occurrence audit (cumulative through this stage).
+func (st *extractionStats) emit(o obs.Observer, subgraphs int, occ []int) {
+	if st == nil {
+		return
+	}
+	ev := obs.ExtractionDone{
+		Stage:          st.stage,
+		Subgraphs:      subgraphs,
+		Walks:          st.walks,
+		WalkLenBuckets: st.walkLens,
+	}
+	for _, c := range occ {
+		if c > 0 {
+			ev.OccurrenceBuckets[obs.BucketIndex(float64(c))]++
+		}
+		if c > ev.MaxOccurrence {
+			ev.MaxOccurrence = c
+		}
+	}
+	obs.Emit(o, ev)
+}
+
 // ExtractRWR runs Algorithm 1: project g to the θ-bounded graph, then for
 // each node (selected with rate q) random-walk-with-restart within its
 // r-hop neighborhood until n unique nodes are collected (or the L-step
@@ -157,6 +211,7 @@ func ExtractRWR(g *graph.Graph, cfg RWRConfig, rng *rand.Rand) (*Container, *gra
 	proj := graph.ProjectInDegree(g, cfg.Theta, rng)
 	nbrs := weakNeighbors(proj)
 	container := NewContainer(g.NumNodes())
+	stats := newExtractionStats(cfg.Obs, "rwr")
 
 	for v := 0; v < proj.NumNodes(); v++ {
 		if rng.Float64() >= cfg.SamplingRate {
@@ -167,7 +222,8 @@ func ExtractRWR(g *graph.Graph, cfg RWRConfig, rng *rand.Rand) (*Container, *gra
 		collected := map[graph.NodeID]bool{v0: true}
 		order := []graph.NodeID{v0}
 		cur := v0
-		for l := 0; l < cfg.WalkLength && len(order) < cfg.SubgraphSize; l++ {
+		steps := 0
+		for ; steps < cfg.WalkLength && len(order) < cfg.SubgraphSize; steps++ {
 			if rng.Float64() < cfg.Tau {
 				cur = v0
 			}
@@ -183,10 +239,12 @@ func ExtractRWR(g *graph.Graph, cfg RWRConfig, rng *rand.Rand) (*Container, *gra
 				order = append(order, next)
 			}
 		}
+		stats.walk(steps)
 		if len(order) == cfg.SubgraphSize {
 			container.Add(graph.Induce(proj, order))
 		}
 	}
+	stats.emit(cfg.Obs, container.Len(), container.Occurrences)
 	return container, proj, nil
 }
 
@@ -223,6 +281,10 @@ type FreqConfig struct {
 	// BESDivisor is s: stage 2 extracts subgraphs of size n/s from the
 	// boundary regions. Zero disables stage 2 (SCS only).
 	BESDivisor int
+
+	// Obs, when non-nil, receives one ExtractionDone event per stage
+	// ("scs", then "bes" if it runs); nil costs nothing.
+	Obs obs.Observer
 }
 
 func (c *FreqConfig) validate(n int) error {
@@ -260,7 +322,9 @@ func ExtractDualStage(g *graph.Graph, cfg FreqConfig, rng *rand.Rand) (*Containe
 
 	// Stage 1: SCS over the full graph.
 	nbrs := weakNeighbors(g)
-	freqSampling(g, nbrs, freq, cfg, cfg.SubgraphSize, nil, container, rng)
+	scsStats := newExtractionStats(cfg.Obs, "scs")
+	freqSampling(g, nbrs, freq, cfg, cfg.SubgraphSize, nil, container, rng, scsStats)
+	scsStats.emit(cfg.Obs, container.Len(), container.Occurrences)
 
 	if cfg.BESDivisor == 0 {
 		return container, nil
@@ -286,7 +350,8 @@ func ExtractDualStage(g *graph.Graph, cfg FreqConfig, rng *rand.Rand) (*Containe
 	}
 	nbrsRe := weakNeighbors(gre)
 	stage2 := NewContainer(gre.NumNodes())
-	freqSampling(gre, nbrsRe, freqRe, cfg, besSize, nil, stage2, rng)
+	besStats := newExtractionStats(cfg.Obs, "bes")
+	freqSampling(gre, nbrsRe, freqRe, cfg, besSize, nil, stage2, rng, besStats)
 	// Translate stage-2 subgraphs back to original node IDs.
 	for _, s := range stage2.Subgraphs {
 		orig := make([]graph.NodeID, len(s.Orig))
@@ -295,12 +360,16 @@ func ExtractDualStage(g *graph.Graph, cfg FreqConfig, rng *rand.Rand) (*Containe
 		}
 		container.Add(&graph.Subgraph{G: s.G, Orig: orig})
 	}
+	// The occurrence audit is cumulative: stage 2's additions count
+	// against the same global M invariant.
+	besStats.emit(cfg.Obs, stage2.Len(), container.Occurrences)
 	return container, nil
 }
 
 // freqSampling is the FreqSampling function of Algorithm 3: frequency-aware
-// RWR extraction updating freq in place. size is the target subgraph size.
-func freqSampling(g *graph.Graph, nbrs [][]graph.NodeID, freq []int, cfg FreqConfig, size int, allow map[graph.NodeID]bool, container *Container, rng *rand.Rand) {
+// RWR extraction updating freq in place. size is the target subgraph size;
+// stats (nil-safe) records walk telemetry.
+func freqSampling(g *graph.Graph, nbrs [][]graph.NodeID, freq []int, cfg FreqConfig, size int, allow map[graph.NodeID]bool, container *Container, rng *rand.Rand, stats *extractionStats) {
 	for v := 0; v < g.NumNodes(); v++ {
 		if rng.Float64() >= cfg.SamplingRate || freq[v] >= cfg.Threshold {
 			continue
@@ -309,7 +378,8 @@ func freqSampling(g *graph.Graph, nbrs [][]graph.NodeID, freq []int, cfg FreqCon
 		collected := map[graph.NodeID]bool{v0: true}
 		order := []graph.NodeID{v0}
 		cur := v0
-		for l := 0; l < cfg.WalkLength && len(order) < size; l++ {
+		steps := 0
+		for ; steps < cfg.WalkLength && len(order) < size; steps++ {
 			if rng.Float64() < cfg.Tau {
 				cur = v0
 			}
@@ -324,6 +394,7 @@ func freqSampling(g *graph.Graph, nbrs [][]graph.NodeID, freq []int, cfg FreqCon
 				order = append(order, next)
 			}
 		}
+		stats.walk(steps)
 		if len(order) != size {
 			continue
 		}

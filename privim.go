@@ -29,6 +29,7 @@ package privim
 
 import (
 	"io"
+	"time"
 
 	"privim/internal/audit"
 	"privim/internal/dataset"
@@ -37,6 +38,7 @@ import (
 	"privim/internal/gnn"
 	"privim/internal/graph"
 	"privim/internal/im"
+	"privim/internal/obs"
 	core "privim/internal/privim"
 )
 
@@ -161,6 +163,63 @@ type (
 func EstimateSpread(m DiffusionModel, seeds []NodeID, rounds int, seed int64) float64 {
 	return diffusion.Estimate(m, seeds, rounds, seed)
 }
+
+// EstimateSpreadObserved is EstimateSpread with live telemetry: a
+// non-nil observer receives one MCBatchDone event for the batch.
+func EstimateSpreadObserved(m DiffusionModel, seeds []NodeID, rounds int, seed int64, o Observer) float64 {
+	return diffusion.EstimateObserved(m, seeds, rounds, seed, o)
+}
+
+// Observability. Set Config.Observer to watch a run live: spans over
+// Modules 1–3, per-iteration loss/clip/ε telemetry, extraction and
+// Monte-Carlo histograms. See the README's Observability section.
+type (
+	// Observer consumes typed pipeline events; nil disables all
+	// instrumentation at zero cost.
+	Observer = obs.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = obs.ObserverFunc
+	// Event is one typed pipeline occurrence.
+	Event = obs.Event
+	// SpanStart / SpanEnd delimit timed pipeline sections.
+	SpanStart = obs.SpanStart
+	SpanEnd   = obs.SpanEnd
+	// IterationEnd reports one DP-SGD iteration (loss, grad norm, clip
+	// fraction, ε spent so far).
+	IterationEnd = obs.IterationEnd
+	// MCBatchDone reports one Monte-Carlo spread-estimation batch.
+	MCBatchDone = obs.MCBatchDone
+	// SeedSelected reports one greedy/CELF seed pick.
+	SeedSelected = obs.SeedSelected
+	// ExtractionDone summarizes one subgraph-extraction stage.
+	ExtractionDone = obs.ExtractionDone
+	// JSONLSink journals events as JSON lines.
+	JSONLSink = obs.JSONLSink
+	// MetricsRegistry aggregates events into named counters, gauges, and
+	// histograms and can publish itself via expvar.
+	MetricsRegistry = obs.Registry
+)
+
+// NewJSONLSink returns an Observer that appends one JSON line per event
+// to w; call Flush before reading the journal.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// DecodeJournalRecord parses one journal line back into its typed event
+// (a pointer to one of the event structs) and the emission timestamp.
+func DecodeJournalRecord(line []byte) (Event, time.Time, error) {
+	return obs.DecodeRecord(line)
+}
+
+// NewMetricsRegistry returns an empty live-metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MultiObserver fans events out to every non-nil observer (nil when none
+// remain, so the result stays free to ignore).
+func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
+
+// StartDebugServer serves expvar (/debug/vars) and pprof (/debug/pprof/)
+// on addr in the background, returning the bound address.
+func StartDebugServer(addr string) (string, error) { return obs.StartDebugServer(addr) }
 
 // Classical IM solvers.
 type (
