@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench suite suite-paper examples fuzz clean
+.PHONY: all build test vet lint race cover bench suite suite-paper examples fuzz serve-smoke clean
 
 all: build vet test
 
@@ -13,11 +13,17 @@ build:
 vet:
 	$(GO) vet ./...
 
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/privim/ ./internal/diffusion/ ./internal/expt/
+	$(GO) test -race ./internal/obs/ ./internal/privim/ ./internal/diffusion/ ./internal/expt/ ./internal/serve/ ./internal/graph/
 
 cover:
 	$(GO) test -cover ./...
@@ -43,6 +49,20 @@ examples:
 
 fuzz:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=60s -run FuzzReadEdgeList ./internal/graph/
+
+# Boot privimd on a throwaway port, probe /healthz and /metrics, shut down.
+serve-smoke:
+	@$(GO) build -o /tmp/privimd-smoke ./cmd/privimd
+	@/tmp/privimd-smoke -addr 127.0.0.1:7399 & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:7399/healthz >/dev/null 2>&1 && break; \
+		sleep 0.1; \
+	done; \
+	curl -fsS http://127.0.0.1:7399/healthz && echo && \
+	curl -fsS http://127.0.0.1:7399/metrics >/dev/null && \
+	echo "serve-smoke: OK"; status=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -f /tmp/privimd-smoke; exit $$status
 
 clean:
 	$(GO) clean ./...

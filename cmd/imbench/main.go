@@ -16,9 +16,9 @@ import (
 	"os"
 	"strings"
 
+	"privim/internal/cliutil"
 	"privim/internal/dataset"
 	"privim/internal/expt"
-	"privim/internal/obs"
 )
 
 var commands = []string{
@@ -31,17 +31,17 @@ var commands = []string{
 
 func main() {
 	var (
-		scale     = flag.Float64("scale", 0, "dataset scale fraction (default: quick preset)")
-		repeats   = flag.Int("repeats", 0, "repetitions per measurement")
-		k         = flag.Int("k", 0, "seed set size")
-		iters     = flag.Int("iters", 0, "training iterations")
-		seed      = flag.Int64("seed", 1, "master seed")
-		paper     = flag.Bool("paper", false, "paper-faithful settings (full scale, slow)")
-		datasets  = flag.String("datasets", "", "comma-separated preset subset")
-		jsonPath  = flag.String("json", "", "with 'all': also write machine-readable results to this JSON file")
-		journal   = flag.String("journal", "", "append a JSONL event journal (spans, per-iteration loss/ε, MC batches) to this path")
-		debugAddr = flag.String("debug-addr", "", "serve live metrics (expvar /debug/vars) and pprof (/debug/pprof/) on host:port")
+		scale    = flag.Float64("scale", 0, "dataset scale fraction (default: quick preset)")
+		repeats  = flag.Int("repeats", 0, "repetitions per measurement")
+		k        = flag.Int("k", 0, "seed set size")
+		iters    = flag.Int("iters", 0, "training iterations")
+		seed     = flag.Int64("seed", 1, "master seed")
+		paper    = flag.Bool("paper", false, "paper-faithful settings (full scale, slow)")
+		datasets = flag.String("datasets", "", "comma-separated preset subset")
+		jsonPath = flag.String("json", "", "with 'all': also write machine-readable results to this JSON file")
+		obsFlags cliutil.ObserverFlags
 	)
+	obsFlags.Register(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: imbench [flags] <command>\ncommands: %s\nflags:\n", strings.Join(commands, " "))
 		flag.PrintDefaults()
@@ -77,53 +77,19 @@ func main() {
 		}
 	}
 
-	observer, flush, err := setupObserver(*journal, *debugAddr)
+	stack, err := obsFlags.Setup("imbench", nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "imbench:", err)
 		os.Exit(1)
 	}
-	s.Observer = observer
+	s.Observer = stack.Observer
 
 	if err := run(cmd, s, *jsonPath); err != nil {
-		flush()
+		stack.Close()
 		fmt.Fprintln(os.Stderr, "imbench:", err)
 		os.Exit(1)
 	}
-	flush()
-}
-
-// setupObserver assembles the observer the -journal and -debug-addr
-// flags request; flush drains the journal and must run before exit.
-func setupObserver(journal, debugAddr string) (obs.Observer, func(), error) {
-	var observers []obs.Observer
-	flush := func() {}
-	if journal != "" {
-		f, err := os.Create(journal)
-		if err != nil {
-			return nil, flush, err
-		}
-		sink := obs.NewJSONLSink(f)
-		observers = append(observers, sink)
-		flush = func() {
-			if err := sink.Flush(); err != nil {
-				fmt.Fprintln(os.Stderr, "imbench: journal:", err)
-			}
-			f.Close()
-		}
-	}
-	if debugAddr != "" {
-		reg := obs.NewRegistry()
-		if err := reg.Publish("imbench"); err != nil {
-			return nil, flush, err
-		}
-		addr, err := obs.StartDebugServer(debugAddr)
-		if err != nil {
-			return nil, flush, err
-		}
-		fmt.Printf("debug server: http://%s/debug/vars (metrics), http://%s/debug/pprof/ (profiles)\n", addr, addr)
-		observers = append(observers, reg)
-	}
-	return obs.Multi(observers...), flush, nil
+	stack.Close()
 }
 
 func run(cmd string, s expt.Settings, jsonPath string) error {

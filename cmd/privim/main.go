@@ -15,12 +15,12 @@ import (
 	"fmt"
 	"os"
 
+	"privim/internal/cliutil"
 	"privim/internal/dataset"
 	"privim/internal/diffusion"
 	"privim/internal/gnn"
 	"privim/internal/graph"
 	"privim/internal/im"
-	"privim/internal/obs"
 	"privim/internal/privim"
 	"privim/internal/tensor"
 )
@@ -43,16 +43,17 @@ func main() {
 		steps     = flag.Int("j", 1, "diffusion steps for evaluation and loss")
 		savePath  = flag.String("save", "", "write the trained model checkpoint to this path")
 		loadPath  = flag.String("load", "", "skip training and score with this checkpoint")
-		journal   = flag.String("journal", "", "append a JSONL event journal (spans, per-iteration loss/ε, MC batches) to this path")
-		debugAddr = flag.String("debug-addr", "", "serve live metrics (expvar /debug/vars) and pprof (/debug/pprof/) on host:port")
+		obsFlags  cliutil.ObserverFlags
 	)
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	observer, flush, err := setupObserver(*journal, *debugAddr)
+	stack, err := obsFlags.Setup("privim", nil)
 	if err != nil {
 		fatal(err)
 	}
-	defer flush()
+	defer stack.Close()
+	observer := stack.Observer
 
 	g, err := loadGraph(*graphPath, *preset, *scale, *seed)
 	if err != nil {
@@ -108,42 +109,6 @@ func main() {
 		ref := diffusion.Estimate(model, celf.Select(*k), 10, *seed)
 		fmt.Printf("CELF reference spread: %.2f  coverage ratio: %.2f%%\n", ref, im.CoverageRatio(spread, ref))
 	}
-}
-
-// setupObserver assembles the observability stack the -journal and
-// -debug-addr flags request: a JSONL journal sink, and/or a metrics
-// registry published via expvar behind a pprof-enabled debug listener.
-// The returned flush must run before exit to drain the journal buffer.
-func setupObserver(journal, debugAddr string) (obs.Observer, func(), error) {
-	var observers []obs.Observer
-	flush := func() {}
-	if journal != "" {
-		f, err := os.Create(journal)
-		if err != nil {
-			return nil, flush, err
-		}
-		sink := obs.NewJSONLSink(f)
-		observers = append(observers, sink)
-		flush = func() {
-			if err := sink.Flush(); err != nil {
-				fmt.Fprintln(os.Stderr, "privim: journal:", err)
-			}
-			f.Close()
-		}
-	}
-	if debugAddr != "" {
-		reg := obs.NewRegistry()
-		if err := reg.Publish("privim"); err != nil {
-			return nil, flush, err
-		}
-		addr, err := obs.StartDebugServer(debugAddr)
-		if err != nil {
-			return nil, flush, err
-		}
-		fmt.Printf("debug server: http://%s/debug/vars (metrics), http://%s/debug/pprof/ (profiles)\n", addr, addr)
-		observers = append(observers, reg)
-	}
-	return obs.Multi(observers...), flush, nil
 }
 
 func loadGraph(path, preset string, scale float64, seed int64) (*graph.Graph, error) {

@@ -1,0 +1,170 @@
+// Command privimd is the PrivIM influence-serving daemon: it hosts
+// trained model checkpoints and answers seed-selection/scoring queries
+// over uploaded graphs, with an async training-job API — the paper's
+// deployment story (train privately once, query the released indicator
+// repeatedly) as a long-running HTTP service.
+//
+// Usage:
+//
+//	privimd -addr :7315 -models ./checkpoints -journal-dir ./journals
+//	privimd -addr :7315 -max-concurrent 16 -debug-addr localhost:6060
+//
+// Endpoints (see the README's Serving section for curl examples):
+//
+//	GET  /healthz                  liveness (503 while draining)
+//	GET  /metrics                  live metrics snapshot (JSON)
+//	GET|POST|DELETE /v1/models...  checkpoint registry CRUD
+//	GET|POST|DELETE /v1/graphs...  graph store CRUD (fingerprinted)
+//	POST /v1/score, /v1/seeds      cached model queries
+//	POST /v1/train, /v1/jobs...    async training jobs
+//
+// SIGTERM/SIGINT drains gracefully: the listener closes, in-flight
+// requests and queued/running training jobs finish (bounded by
+// -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"privim/internal/cliutil"
+	"privim/internal/obs"
+	"privim/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":7315", "HTTP listen address")
+		modelsDir     = flag.String("models", "", "preload every checkpoint file in this directory")
+		graphsDir     = flag.String("graphs", "", "preload every edge-list file in this directory")
+		journalDir    = flag.String("journal-dir", "", "write per-training-job JSONL event journals into this directory")
+		maxConcurrent = flag.Int("max-concurrent", 8, "admission limit: max in-flight /v1 requests before 429")
+		queryTimeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout for query endpoints")
+		maxBody       = flag.Int64("max-body", 64<<20, "request body size limit in bytes")
+		trainWorkers  = flag.Int("train-workers", 2, "training worker pool size")
+		trainQueue    = flag.Int("train-queue", 16, "max queued training jobs before 429")
+		cacheSize     = flag.Int("cache-size", 256, "LRU result-cache entry capacity")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
+		obsFlags      cliutil.ObserverFlags
+	)
+	obsFlags.Register(flag.CommandLine)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "privimd: ", log.LstdFlags)
+
+	// One registry backs /metrics, /debug/vars, and the training-event
+	// aggregation, so every view of the daemon agrees.
+	reg := obs.NewRegistry()
+	stack, err := obsFlags.Setup("privimd", reg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer stack.Close()
+
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			logger.Fatal(err)
+		}
+	}
+	srv, err := serve.New(serve.Options{
+		ModelsDir:     *modelsDir,
+		JournalDir:    *journalDir,
+		MaxConcurrent: *maxConcurrent,
+		QueryTimeout:  *queryTimeout,
+		MaxBodyBytes:  *maxBody,
+		TrainWorkers:  *trainWorkers,
+		TrainQueue:    *trainQueue,
+		CacheSize:     *cacheSize,
+		Registry:      reg,
+		Observer:      stack.Observer,
+		Logf:          logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *graphsDir != "" {
+		if err := preloadGraphs(srv, *graphsDir, logger); err != nil {
+			logger.Fatal(err)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("serving on http://%s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Printf("received %s, draining (timeout %s)", sig, *drainTimeout)
+	case err := <-errc:
+		logger.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop the listener and wait for in-flight HTTP first, then let the
+	// job pool finish queued/running training.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Printf("http drain: %v", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		logger.Printf("job drain: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+	}
+	logger.Printf("drained, exiting")
+}
+
+// preloadGraphs stores every parseable edge-list file in dir under its
+// base filename (extension stripped), mirroring the model preload.
+func preloadGraphs(srv *serve.Server, dir string, logger *log.Logger) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	loaded := 0
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			logger.Printf("skipping %s: %v", path, err)
+			continue
+		}
+		name := de.Name()
+		if ext := filepath.Ext(name); ext != "" {
+			name = name[:len(name)-len(ext)]
+		}
+		info, err := srv.StoreGraph(name, data)
+		if err != nil {
+			logger.Printf("skipping %s: %v", path, err)
+			continue
+		}
+		logger.Printf("graph %s loaded (|V|=%d |E|=%d fp=%s)", info.Name, info.Nodes, info.Edges, info.Fingerprint)
+		loaded++
+	}
+	logger.Printf("loaded %d graph(s) from %s", loaded, dir)
+	return nil
+}

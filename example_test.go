@@ -1,7 +1,9 @@
 package privim_test
 
 import (
+	"bytes"
 	"fmt"
+	"reflect"
 	"sort"
 
 	"privim"
@@ -74,6 +76,47 @@ func ExampleCalibrateSigma() {
 	fmt.Println("meets target:", acc.Epsilon(100, 1e-5) <= 2.0001)
 	// Output:
 	// meets target: true
+}
+
+// ExampleResult_SaveModel round-trips a trained model through the
+// checkpoint format: the saved-then-loaded model selects exactly the
+// same seeds as the in-memory original.
+func ExampleResult_SaveModel() {
+	ds, err := privim.GenerateDataset(privim.Email, privim.DatasetOptions{
+		Scale: 0.1, Seed: 1, InfluenceProb: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := privim.Train(ds.TrainSubgraph().G, privim.Config{
+		Mode:         privim.ModeDual,
+		Epsilon:      3,
+		SubgraphSize: 10,
+		HiddenDim:    8,
+		Layers:       2,
+		Iterations:   3,
+		BatchSize:    4,
+		Seed:         1,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	var buf bytes.Buffer
+	if err := res.SaveModel(&buf); err != nil {
+		panic(err)
+	}
+	loaded, err := privim.LoadModel(&buf)
+	if err != nil {
+		panic(err)
+	}
+
+	test := ds.TestSubgraph().G
+	want := res.SelectSeeds(test, 5)
+	got := privim.TopKScores(privim.ScoreModel(loaded, test), 5)
+	fmt.Println("identical seeds:", reflect.DeepEqual(want, got))
+	// Output:
+	// identical seeds: true
 }
 
 // ExampleEstimateSpread evaluates a seed set under the IC model.

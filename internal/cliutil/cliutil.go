@@ -1,0 +1,116 @@
+// Package cliutil holds the flag plumbing shared by the privim binaries
+// (cmd/privim, cmd/imbench, cmd/privimd): the -journal / -debug-addr
+// observability pair and the assembly of the observer stack they
+// request. Centralizing it keeps the three CLIs' behavior identical —
+// same flag names, same help text, same journal/debug lifecycle.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"privim/internal/obs"
+)
+
+// ObserverFlags is the observability flag pair every binary exposes.
+// Register installs the flags on a FlagSet; Setup builds the stack the
+// parsed values request.
+type ObserverFlags struct {
+	Journal   string
+	DebugAddr string
+}
+
+// Register installs -journal and -debug-addr on fs with the shared help
+// text.
+func (f *ObserverFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Journal, "journal", "",
+		"append a JSONL event journal (spans, per-iteration loss/ε, MC batches) to this path")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "",
+		"serve live metrics (expvar /debug/vars) and pprof (/debug/pprof/) on host:port")
+}
+
+// Stack is the assembled observability plumbing: the fan-out Observer to
+// hand to pipeline configs (nil when neither flag was set, so the
+// zero-cost unobserved path is preserved), plus the registry and debug
+// server when -debug-addr requested them. Close must run before exit to
+// drain the journal and stop the debug listener.
+type Stack struct {
+	Observer obs.Observer
+	Registry *obs.Registry    // non-nil iff -debug-addr was set
+	Debug    *obs.DebugServer // non-nil iff -debug-addr was set
+
+	name string
+	sink *obs.JSONLSink
+	file *os.File
+}
+
+// Setup assembles what the flags request: a JSONL journal sink when
+// -journal is set, and a metrics registry published via expvar under
+// name behind a pprof-enabled debug listener when -debug-addr is set.
+// A non-nil reg is used in place of a fresh registry — the daemon shares
+// one registry between its /metrics endpoint and /debug/vars.
+func (f *ObserverFlags) Setup(name string, reg *obs.Registry) (*Stack, error) {
+	s := &Stack{name: name}
+	var observers []obs.Observer
+	if f.Journal != "" {
+		file, err := os.Create(f.Journal)
+		if err != nil {
+			return nil, err
+		}
+		s.file = file
+		s.sink = obs.NewJSONLSink(file)
+		observers = append(observers, s.sink)
+	}
+	if f.DebugAddr != "" {
+		// A caller-provided registry is published but not fanned into the
+		// observer — the caller already routes events into it (the daemon
+		// wires it through serve.Options.Registry); appending it here
+		// would double-count every event.
+		owned := reg == nil
+		if owned {
+			reg = obs.NewRegistry()
+		}
+		if err := reg.Publish(name); err != nil {
+			s.closeJournal()
+			return nil, err
+		}
+		dbg, err := obs.StartDebugServer(f.DebugAddr)
+		if err != nil {
+			s.closeJournal()
+			return nil, err
+		}
+		s.Registry, s.Debug = reg, dbg
+		fmt.Printf("debug server: http://%s/debug/vars (metrics), http://%s/debug/pprof/ (profiles)\n",
+			dbg.Addr(), dbg.Addr())
+		if owned {
+			observers = append(observers, reg)
+		}
+	}
+	s.Observer = obs.Multi(observers...)
+	return s, nil
+}
+
+// Close drains the journal to disk and gracefully stops the debug
+// server (bounded wait for in-flight scrapes).
+func (s *Stack) Close() {
+	s.closeJournal()
+	if s.Debug != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = s.Debug.Shutdown(ctx)
+	}
+}
+
+func (s *Stack) closeJournal() {
+	if s.sink == nil {
+		return
+	}
+	if err := s.sink.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: journal: %v\n", s.name, err)
+	}
+	s.file.Close()
+	s.sink, s.file = nil, nil
+}

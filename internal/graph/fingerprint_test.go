@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFingerprintDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g := NewWithNodes(5, true)
+		g.AddEdge(0, 1, 0.5)
+		g.AddEdge(1, 2, 0.25)
+		g.AddEdge(2, 3, 1)
+		g.AddEdge(4, 0, 0.125)
+		return g
+	}
+	a, b := build(), build()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("identical graphs fingerprint differently: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	if got, want := a.Fingerprint(), a.Clone().Fingerprint(); got != want {
+		t.Fatalf("clone fingerprint %x != original %x", want, got)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := NewWithNodes(4, true)
+	base.AddEdge(0, 1, 0.5)
+	base.AddEdge(1, 2, 0.5)
+	fp := base.Fingerprint()
+
+	// Changed weight.
+	w := base.Clone()
+	w.out[0][0].Weight = 0.75
+	if w.Fingerprint() == fp {
+		t.Fatal("weight change did not change fingerprint")
+	}
+
+	// Extra edge.
+	e := base.Clone()
+	e.AddEdge(2, 3, 0.5)
+	if e.Fingerprint() == fp {
+		t.Fatal("edge addition did not change fingerprint")
+	}
+
+	// Extra isolated node.
+	n := base.Clone()
+	n.AddNode()
+	if n.Fingerprint() == fp {
+		t.Fatal("node addition did not change fingerprint")
+	}
+
+	// Directedness flag.
+	u := NewWithNodes(4, false)
+	u.AddEdge(0, 1, 0.5)
+	u.AddEdge(1, 2, 0.5)
+	if u.Fingerprint() == fp {
+		t.Fatal("undirected graph fingerprints like the directed one")
+	}
+
+	// Empty graphs still distinguish directedness.
+	if New(true).Fingerprint() == New(false).Fingerprint() {
+		t.Fatal("empty directed and undirected graphs collide")
+	}
+}
+
+func TestFingerprintEdgeListRoundTrip(t *testing.T) {
+	g := NewWithNodes(6, true)
+	g.AddEdge(0, 1, 0.5)
+	g.AddEdge(1, 2, 0.0625)
+	g.AddEdge(5, 0, 1)
+
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != g.Fingerprint() {
+		t.Fatalf("edge-list round trip changed fingerprint: %x vs %x",
+			back.Fingerprint(), g.Fingerprint())
+	}
+}

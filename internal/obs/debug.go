@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
+	"time"
 
 	// Register /debug/pprof/* on the default mux; /debug/vars comes from
 	// the expvar import in registry.go. Both are only reachable once
@@ -10,16 +12,40 @@ import (
 	_ "net/http/pprof"
 )
 
-// StartDebugServer serves the process debug endpoints — expvar at
-// /debug/vars (including any published Registry) and pprof at
-// /debug/pprof/ — on addr in a background goroutine. It returns the
-// bound address (useful with ":0") once the listener is live, so callers
-// can print a working URL immediately.
-func StartDebugServer(addr string) (string, error) {
+// DebugServer is a running process-debug endpoint: expvar at /debug/vars
+// (including any published Registry) and pprof at /debug/pprof/. Unlike a
+// fire-and-forget goroutine it is a real *http.Server handle, so owners
+// can drain it on shutdown (Shutdown) or tear it down immediately
+// (Close) instead of leaking the listener until process exit.
+type DebugServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// StartDebugServer binds addr and serves the debug endpoints in a
+// background goroutine, returning the live server handle. The bound
+// address is available immediately via Addr (useful with ":0"), so
+// callers can print a working URL before any request arrives.
+func StartDebugServer(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	go http.Serve(ln, http.DefaultServeMux) //nolint:errcheck // lives until process exit
-	return ln.Addr().String(), nil
+	d := &DebugServer{
+		srv:  &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second},
+		addr: ln.Addr().String(),
+	}
+	go d.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Shutdown/Close
+	return d, nil
 }
+
+// Addr returns the address the server is listening on.
+func (d *DebugServer) Addr() string { return d.addr }
+
+// Shutdown gracefully drains the server: the listener closes at once,
+// in-flight scrapes finish (pprof profile captures can run for seconds),
+// and the call returns when they have or ctx expires.
+func (d *DebugServer) Shutdown(ctx context.Context) error { return d.srv.Shutdown(ctx) }
+
+// Close tears the server down immediately, aborting in-flight requests.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -2,6 +2,7 @@ package privim
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"runtime"
@@ -385,6 +386,15 @@ func (r *Result) Scores(g *graph.Graph) []float64 {
 // selection rule.
 func (r *Result) SelectSeeds(g *graph.Graph, k int) []graph.NodeID {
 	return im.TopKScores(r.Scores(g), k)
+}
+
+// SaveModel writes the trained model as a checkpoint readable by
+// gnn.Load (and the privim.LoadModel facade) — the symmetric half of the
+// load path, so callers never need to reach into Result.Model. The
+// checkpoint captures architecture and weights only; privacy accounting
+// lives in the Result and is not persisted.
+func (r *Result) SaveModel(w io.Writer) error {
+	return r.Model.Save(w)
 }
 
 // String summarizes the result for logs.

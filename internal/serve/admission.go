@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"net/http"
+
+	"privim/internal/obs"
+)
+
+// admission is the server's load-shedding gate: a counting semaphore
+// sized to the concurrency the host can sustain. Requests that cannot
+// acquire a slot immediately are rejected with 429 rather than queued —
+// under sustained overload an unbounded queue only converts latency into
+// timeouts, so the daemon sheds instead.
+type admission struct {
+	slots    chan struct{}
+	rejected *obs.Counter
+	inflight *obs.Counter
+}
+
+func newAdmission(maxConcurrent int, reg *obs.Registry) *admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		rejected: reg.Counter("serve.http.rejected"),
+		inflight: reg.Counter("serve.http.inflight"),
+	}
+}
+
+// wrap gates h behind the semaphore. The slot is held for the full
+// handler duration (including request-body reads), so slow uploads count
+// against capacity exactly like compute.
+func (a *admission) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case a.slots <- struct{}{}:
+		default:
+			a.rejected.Inc()
+			httpError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			return
+		}
+		a.inflight.Inc()
+		defer func() {
+			a.inflight.Add(-1)
+			<-a.slots
+		}()
+		h.ServeHTTP(w, r)
+	})
+}

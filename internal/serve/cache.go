@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one memoized query result: the fully resolved
+// model reference ("name@version"), the graph's content fingerprint
+// (graph.Fingerprint), the seed-set size (0 for score queries), and the
+// query mode ("seeds" / "score"). Keying on the fingerprint rather than
+// the store name means re-uploading the same graph under another name —
+// or replacing a name with different content — hits or misses correctly
+// for free.
+type cacheKey struct {
+	Model       string
+	Fingerprint uint64
+	K           int
+	Mode        string
+}
+
+// lruCache is a fixed-capacity least-recently-used map from cacheKey to
+// an immutable cached response value. Safe for concurrent use; cached
+// values must never be mutated after Put.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; elements hold *cacheEntry
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val any
+}
+
+// newLRUCache returns an empty cache holding at most capacity entries
+// (capacity < 1 is clamped to 1).
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element),
+	}
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (c *lruCache) Get(k cacheKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes k→v, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache) Put(k cacheKey, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,53 @@
+package serve
+
+import "testing"
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	k := func(i int) cacheKey { return cacheKey{Model: "m@1", Fingerprint: uint64(i), K: 5, Mode: "seeds"} }
+
+	c.Put(k(1), "a")
+	c.Put(k(2), "b")
+	if v, ok := c.Get(k(1)); !ok || v != "a" {
+		t.Fatalf("Get(1) = %v %v", v, ok)
+	}
+	// 1 is now most recent; inserting 3 evicts 2.
+	c.Put(k(3), "c")
+	if _, ok := c.Get(k(2)); ok {
+		t.Fatal("entry 2 survived eviction")
+	}
+	if _, ok := c.Get(k(1)); !ok {
+		t.Fatal("recently used entry 1 was evicted")
+	}
+	if _, ok := c.Get(k(3)); !ok {
+		t.Fatal("new entry 3 missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+
+	// Refreshing an existing key must not grow the cache.
+	c.Put(k(1), "a2")
+	if v, _ := c.Get(k(1)); v != "a2" {
+		t.Fatalf("refresh lost: %v", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len after refresh = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	c := newLRUCache(8)
+	base := cacheKey{Model: "m@1", Fingerprint: 42, K: 5, Mode: "seeds"}
+	c.Put(base, "x")
+	for _, k := range []cacheKey{
+		{Model: "m@2", Fingerprint: 42, K: 5, Mode: "seeds"},
+		{Model: "m@1", Fingerprint: 43, K: 5, Mode: "seeds"},
+		{Model: "m@1", Fingerprint: 42, K: 6, Mode: "seeds"},
+		{Model: "m@1", Fingerprint: 42, K: 5, Mode: "score"},
+	} {
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("key %+v aliased the base entry", k)
+		}
+	}
+}

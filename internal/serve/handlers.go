@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"privim/internal/dataset"
+	"privim/internal/gnn"
+	"privim/internal/graph"
+	"privim/internal/im"
+	"privim/internal/tensor"
+)
+
+// handleHealth reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while in-flight work completes.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the live registry snapshot (request counters,
+// latency histograms, cache hit/miss, job and training telemetry).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// --- model registry CRUD ---
+
+func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.models.List()})
+}
+
+// handleModelPut accepts a raw gnn.Save checkpoint body under
+// /v1/models/{name}; ?version=N pins a version (default: next free).
+func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if strings.ContainsRune(name, '@') {
+		httpError(w, http.StatusBadRequest, "upload to a bare model name, not a versioned reference")
+		return
+	}
+	version := 0
+	if v := r.URL.Query().Get("version"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad version %q", v)
+			return
+		}
+		version = n
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	m, err := gnn.Load(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding checkpoint: %v", err)
+		return
+	}
+	info, err := s.models.Put(name, version, m)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.opts.Logf("serve: model %s registered (%s, %d params)", info.Ref(), info.Kind, info.Params)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	e, err := s.models.Resolve(r.PathValue("name"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, e.info)
+}
+
+func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.models.Delete(r.PathValue("name")); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- graph store CRUD ---
+
+func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.graphs.List()})
+}
+
+// handleGraphPut accepts a privim-edgelist or SNAP-style edge-list body
+// under /v1/graphs/{name} and returns the stored graph's fingerprint.
+func (s *Server) handleGraphPut(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	g, err := parseGraphUpload(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing graph: %v", err)
+		return
+	}
+	info, err := s.graphs.Put(r.PathValue("name"), g)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.opts.Logf("serve: graph %s stored (|V|=%d |E|=%d fp=%s)",
+		info.Name, info.Nodes, info.Edges, info.Fingerprint)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
+	e, err := s.graphs.Get(r.PathValue("name"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, e.info)
+}
+
+func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.graphs.Delete(r.PathValue("name")); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- query endpoints ---
+
+// queryRequest is the POST /v1/score and /v1/seeds body.
+type queryRequest struct {
+	Model string `json:"model"` // "name" or "name@version"
+	Graph string `json:"graph"` // graph store name
+	K     int    `json:"k,omitempty"`
+}
+
+// queryResponse answers both query endpoints; Seeds is set for /v1/seeds
+// and Scores for /v1/score. Cached reports whether the LRU answered.
+type queryResponse struct {
+	Model       string         `json:"model"`
+	Graph       string         `json:"graph"`
+	Fingerprint string         `json:"fingerprint"`
+	K           int            `json:"k,omitempty"`
+	Seeds       []graph.NodeID `json:"seeds,omitempty"`
+	Scores      []float64      `json:"scores,omitempty"`
+	Cached      bool           `json:"cached"`
+}
+
+// resolveQuery decodes and resolves the shared parts of a query request.
+func (s *Server) resolveQuery(w http.ResponseWriter, r *http.Request) (*modelEntry, *graphEntry, queryRequest, bool) {
+	var req queryRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return nil, nil, req, false
+	}
+	if req.K < 0 {
+		httpError(w, http.StatusBadRequest, "negative k %d", req.K)
+		return nil, nil, req, false
+	}
+	me, err := s.models.Resolve(req.Model)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return nil, nil, req, false
+	}
+	ge, err := s.graphs.Get(req.Graph)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return nil, nil, req, false
+	}
+	if me.info.InputDim != dataset.NumStructuralFeatures {
+		httpError(w, http.StatusBadRequest,
+			"model %s expects %d input features, server scores with %d structural features",
+			me.info.Ref(), me.info.InputDim, dataset.NumStructuralFeatures)
+		return nil, nil, req, false
+	}
+	return me, ge, req, true
+}
+
+// score runs the model forward pass over a stored graph with the
+// standard structural features — the serve-time twin of Result.Scores.
+func score(me *modelEntry, ge *graphEntry) []float64 {
+	x := tensor.FromSlice(ge.g.NumNodes(), dataset.NumStructuralFeatures, dataset.StructuralFeatures(ge.g))
+	return me.model.Score(ge.g, x)
+}
+
+// answer serves the query through the LRU cache: a hit returns the
+// memoized response (marked Cached), a miss computes, stores, and
+// returns it.
+func (s *Server) answer(w http.ResponseWriter, mode string, me *modelEntry, ge *graphEntry,
+	k int, compute func() queryResponse) {
+	key := cacheKey{Model: me.info.Ref(), Fingerprint: ge.fp, K: k, Mode: mode}
+	if v, ok := s.cache.Get(key); ok {
+		s.reg.Counter("serve.cache.hits").Inc()
+		resp := v.(queryResponse)
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.reg.Counter("serve.cache.misses").Inc()
+	resp := compute()
+	s.cache.Put(key, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	me, ge, req, ok := s.resolveQuery(w, r)
+	if !ok {
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	s.answer(w, "seeds", me, ge, k, func() queryResponse {
+		return queryResponse{
+			Model:       me.info.Ref(),
+			Graph:       ge.info.Name,
+			Fingerprint: ge.info.Fingerprint,
+			K:           k,
+			Seeds:       im.TopKScores(score(me, ge), k),
+		}
+	})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	me, ge, req, ok := s.resolveQuery(w, r)
+	if !ok {
+		return
+	}
+	if req.K != 0 {
+		httpError(w, http.StatusBadRequest, "k is a /v1/seeds parameter; /v1/score returns all nodes")
+		return
+	}
+	s.answer(w, "score", me, ge, 0, func() queryResponse {
+		return queryResponse{
+			Model:       me.info.Ref(),
+			Graph:       ge.info.Name,
+			Fingerprint: ge.info.Fingerprint,
+			Scores:      score(me, ge),
+		}
+	})
+}
+
+// --- async training jobs ---
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req TrainRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.ModelName != "" && !validName(req.ModelName) {
+		httpError(w, http.StatusBadRequest, "invalid model name %q", req.ModelName)
+		return
+	}
+	ge, err := s.graphs.Get(req.Graph)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	status, err := s.jobs.Submit(req, ge.g)
+	switch {
+	case errors.Is(err, errQueueFull):
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, errDraining):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, status)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	status, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	status, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		code := http.StatusConflict
+		if strings.Contains(err.Error(), "not found") {
+			code = http.StatusNotFound
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"privim/internal/gnn"
+	"privim/internal/graph"
+	"privim/internal/obs"
+	core "privim/internal/privim"
+)
+
+// JobState is the lifecycle of an async training job.
+type JobState string
+
+// Job lifecycle: queued → running → done/failed; queued jobs may be
+// canceled before a worker picks them up (running jobs are not
+// interruptible — training has no preemption points — so cancel on a
+// running job is a conflict).
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// TrainRequest is the POST /v1/train body. Graph names a stored graph;
+// every other field is optional and falls back to the paper's defaults
+// (core.Config.normalize). Epsilon 0 means non-private, matching the
+// library semantics.
+type TrainRequest struct {
+	Graph        string  `json:"graph"`
+	ModelName    string  `json:"model_name,omitempty"` // registry destination; default: the job ID
+	Mode         string  `json:"mode,omitempty"`
+	GNN          string  `json:"gnn,omitempty"`
+	Epsilon      float64 `json:"epsilon,omitempty"`
+	Iterations   int     `json:"iterations,omitempty"`
+	SubgraphSize int     `json:"subgraph_size,omitempty"`
+	Threshold    int     `json:"threshold,omitempty"`
+	HiddenDim    int     `json:"hidden_dim,omitempty"`
+	Layers       int     `json:"layers,omitempty"`
+	BatchSize    int     `json:"batch_size,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+}
+
+// JobStatus is the public view of one job, returned by the submit and
+// poll endpoints.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Graph string   `json:"graph"`
+	// Model is the "name@version" registry reference of the trained
+	// checkpoint once the job is done.
+	Model string `json:"model,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Journal is the per-job JSONL event journal path (when the server
+	// runs with a journal directory).
+	Journal string `json:"journal,omitempty"`
+
+	// Training summary, populated on success.
+	EpsilonSpent float64 `json:"epsilon_spent,omitempty"`
+	Private      bool    `json:"private,omitempty"`
+	NumSubgraphs int     `json:"num_subgraphs,omitempty"`
+
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+}
+
+var (
+	errDraining  = errors.New("server is draining")
+	errQueueFull = errors.New("training queue is full")
+)
+
+type job struct {
+	status JobStatus
+	req    TrainRequest
+	g      *graph.Graph
+}
+
+// jobManager runs training jobs on a bounded worker pool with a bounded
+// queue. Every status mutation happens under mu; workers copy what they
+// need out before releasing it, so a long Train never holds the lock.
+type jobManager struct {
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	queue    chan *job
+	wg       sync.WaitGroup
+	draining bool
+	nextID   int
+
+	journalDir string
+	observer   obs.Observer // fanned into every job's training config
+	models     *modelRegistry
+	metrics    *obs.Registry
+	logf       func(string, ...any)
+}
+
+func newJobManager(workers, queueCap int, journalDir string, observer obs.Observer,
+	models *modelRegistry, metrics *obs.Registry, logf func(string, ...any)) *jobManager {
+	m := &jobManager{
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, queueCap),
+		journalDir: journalDir,
+		observer:   observer,
+		models:     models,
+		metrics:    metrics,
+		logf:       logf,
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit enqueues a training job over g (already resolved from
+// req.Graph, so a later graph delete cannot invalidate a queued job).
+func (m *jobManager) Submit(req TrainRequest, g *graph.Graph) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return JobStatus{}, errDraining
+	}
+	m.nextID++
+	j := &job{
+		status: JobStatus{
+			ID:      fmt.Sprintf("job-%04d", m.nextID),
+			State:   JobQueued,
+			Graph:   req.Graph,
+			Created: time.Now(),
+		},
+		req: req,
+		g:   g,
+	}
+	select {
+	case m.queue <- j:
+	default:
+		return JobStatus{}, errQueueFull
+	}
+	m.jobs[j.status.ID] = j
+	m.order = append(m.order, j.status.ID)
+	m.metrics.Counter("serve.jobs.submitted").Inc()
+	return j.status, nil
+}
+
+// Get returns the status of one job.
+func (m *jobManager) Get(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("job %q not found", id)
+	}
+	return j.status, nil
+}
+
+// List returns every job in submission order.
+func (m *jobManager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].status)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Created.Before(out[j].Created) })
+	return out
+}
+
+// Cancel marks a queued job canceled. Running or finished jobs conflict.
+func (m *jobManager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("job %q not found", id)
+	}
+	if j.status.State != JobQueued {
+		return j.status, fmt.Errorf("job %q is %s, only queued jobs cancel", id, j.status.State)
+	}
+	j.status.State = JobCanceled
+	j.status.Finished = time.Now()
+	m.metrics.Counter("serve.jobs.canceled").Inc()
+	return j.status, nil
+}
+
+// Shutdown stops accepting jobs, lets queued and running work finish,
+// and returns when the pool has drained or ctx expires.
+func (m *jobManager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (m *jobManager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job end to end. The job's own Observer stack is the
+// server-wide observer plus a per-job JSONL journal when a journal
+// directory is configured.
+func (m *jobManager) run(j *job) {
+	m.mu.Lock()
+	if j.status.State != JobQueued { // canceled while waiting
+		m.mu.Unlock()
+		return
+	}
+	j.status.State = JobRunning
+	j.status.Started = time.Now()
+	req, g, id := j.req, j.g, j.status.ID
+	m.mu.Unlock()
+	m.metrics.Counter("serve.jobs.running").Inc()
+	defer m.metrics.Counter("serve.jobs.running").Add(-1)
+
+	observer := m.observer
+	var journalPath string
+	var sink *obs.JSONLSink
+	var journalFile *os.File
+	if m.journalDir != "" {
+		journalPath = filepath.Join(m.journalDir, id+".jsonl")
+		f, err := os.Create(journalPath)
+		if err != nil {
+			m.logf("serve: %s: journal: %v", id, err)
+			journalPath = ""
+		} else {
+			journalFile = f
+			sink = obs.NewJSONLSink(f)
+			observer = obs.Multi(observer, sink)
+		}
+	}
+
+	cfg := core.Config{
+		Mode:         core.Mode(req.Mode),
+		Epsilon:      req.Epsilon,
+		Iterations:   req.Iterations,
+		SubgraphSize: req.SubgraphSize,
+		Threshold:    req.Threshold,
+		HiddenDim:    req.HiddenDim,
+		Layers:       req.Layers,
+		BatchSize:    req.BatchSize,
+		Seed:         req.Seed,
+		Observer:     observer,
+	}
+	if req.GNN != "" {
+		cfg.GNNKind = gnn.Kind(req.GNN)
+	}
+
+	start := time.Now()
+	res, err := core.Train(g, cfg)
+	m.metrics.Histogram("serve.jobs.train_us").Observe(float64(time.Since(start).Microseconds()))
+
+	if sink != nil {
+		if ferr := sink.Flush(); ferr != nil {
+			m.logf("serve: %s: journal: %v", id, ferr)
+		}
+		journalFile.Close()
+	}
+
+	var modelRef string
+	if err == nil {
+		name := req.ModelName
+		if name == "" {
+			name = id
+		}
+		var info ModelInfo
+		if info, err = m.models.Put(name, 0, res.Model); err == nil {
+			modelRef = info.Ref()
+		}
+	}
+
+	m.mu.Lock()
+	j.status.Finished = time.Now()
+	j.status.Journal = journalPath
+	if err != nil {
+		j.status.State = JobFailed
+		j.status.Error = err.Error()
+	} else {
+		j.status.State = JobDone
+		j.status.Model = modelRef
+		j.status.EpsilonSpent = res.EpsilonSpent
+		j.status.Private = res.Private
+		j.status.NumSubgraphs = res.NumSubgraphs
+	}
+	m.mu.Unlock()
+	if err != nil {
+		m.metrics.Counter("serve.jobs.failed").Inc()
+		m.logf("serve: %s failed: %v", id, err)
+	} else {
+		m.metrics.Counter("serve.jobs.completed").Inc()
+		m.logf("serve: %s done: model %s", id, modelRef)
+	}
+}

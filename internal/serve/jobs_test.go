@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"privim/internal/graph"
+	"privim/internal/obs"
+)
+
+func discard(string, ...any) {}
+
+// newIdleManager returns a manager with no workers, so submitted jobs
+// stay queued deterministically.
+func newIdleManager(queueCap int) *jobManager {
+	return newJobManager(0, queueCap, "", nil, newModelRegistry(), obs.NewRegistry(), discard)
+}
+
+func TestJobQueueBoundsAndCancel(t *testing.T) {
+	m := newIdleManager(1)
+	g := graph.NewWithNodes(4, true)
+
+	st, err := m.Submit(TrainRequest{Graph: "g"}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobQueued {
+		t.Fatalf("state = %s, want queued", st.State)
+	}
+
+	if _, err := m.Submit(TrainRequest{Graph: "g"}, g); !errors.Is(err, errQueueFull) {
+		t.Fatalf("overfull submit err = %v, want errQueueFull", err)
+	}
+
+	canceled, err := m.Cancel(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canceled.State != JobCanceled {
+		t.Fatalf("state after cancel = %s", canceled.State)
+	}
+	if _, err := m.Cancel(st.ID); err == nil {
+		t.Fatal("double cancel succeeded")
+	}
+	if _, err := m.Cancel("job-9999"); err == nil {
+		t.Fatal("cancel of unknown job succeeded")
+	}
+}
+
+func TestJobManagerDrainRejectsNewWork(t *testing.T) {
+	m := newIdleManager(4)
+	g := graph.NewWithNodes(4, true)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := m.Submit(TrainRequest{Graph: "g"}, g); !errors.Is(err, errDraining) {
+		t.Fatalf("post-drain submit err = %v, want errDraining", err)
+	}
+	// Shutdown is idempotent.
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+func TestCanceledJobIsSkippedByWorker(t *testing.T) {
+	// No workers yet: submit, cancel, then run the queue manually the way
+	// a worker would — the canceled job must not execute.
+	m := newIdleManager(1)
+	g := graph.NewWithNodes(4, true)
+	st, err := m.Submit(TrainRequest{Graph: "g"}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	j := <-m.queue
+	m.run(j)
+	got, err := m.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != JobCanceled {
+		t.Fatalf("canceled job ran: state = %s", got.State)
+	}
+}

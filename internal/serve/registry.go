@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"privim/internal/gnn"
+)
+
+// ModelInfo is the registry's public description of one checkpoint.
+type ModelInfo struct {
+	Name     string `json:"name"`
+	Version  int    `json:"version"`
+	Kind     string `json:"kind"`
+	Params   int    `json:"params"`
+	InputDim int    `json:"input_dim"`
+}
+
+// Ref is the "name@version" reference queries use.
+func (i ModelInfo) Ref() string { return fmt.Sprintf("%s@%d", i.Name, i.Version) }
+
+type modelEntry struct {
+	info  ModelInfo
+	model *gnn.Model
+}
+
+// modelRegistry is the in-memory store of named, versioned checkpoints.
+// Versions are dense positive integers per name; a bare name resolves to
+// the highest version. Safe for concurrent use; stored models are frozen
+// (Score only), so entries can be served without copying.
+type modelRegistry struct {
+	mu     sync.RWMutex
+	models map[string]map[int]*modelEntry
+}
+
+func newModelRegistry() *modelRegistry {
+	return &modelRegistry{models: make(map[string]map[int]*modelEntry)}
+}
+
+// validName restricts registry keys so "name@version" references and URL
+// path segments stay unambiguous.
+func validName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Put registers m under name. version <= 0 assigns the next free version.
+func (r *modelRegistry) Put(name string, version int, m *gnn.Model) (ModelInfo, error) {
+	if !validName(name) {
+		return ModelInfo{}, fmt.Errorf("invalid model name %q (want [A-Za-z0-9._-]+)", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions := r.models[name]
+	if versions == nil {
+		versions = make(map[int]*modelEntry)
+		r.models[name] = versions
+	}
+	if version <= 0 {
+		for v := range versions {
+			if v > version {
+				version = v
+			}
+		}
+		version++
+	}
+	info := ModelInfo{
+		Name:     name,
+		Version:  version,
+		Kind:     string(m.Cfg.Kind),
+		Params:   m.Params.NumParams(),
+		InputDim: m.Cfg.InputDim,
+	}
+	versions[version] = &modelEntry{info: info, model: m}
+	return info, nil
+}
+
+// Resolve looks up a "name" (latest version) or "name@version" reference.
+func (r *modelRegistry) Resolve(ref string) (*modelEntry, error) {
+	name, version := ref, 0
+	if at := strings.LastIndexByte(ref, '@'); at >= 0 {
+		v, err := strconv.Atoi(ref[at+1:])
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad model version in %q", ref)
+		}
+		name, version = ref[:at], v
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	versions := r.models[name]
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("model %q not found", name)
+	}
+	if version == 0 {
+		for v := range versions {
+			if v > version {
+				version = v
+			}
+		}
+	}
+	e, ok := versions[version]
+	if !ok {
+		return nil, fmt.Errorf("model %q has no version %d", name, version)
+	}
+	return e, nil
+}
+
+// Delete removes one version ("name@version") or every version of a name.
+func (r *modelRegistry) Delete(ref string) error {
+	name, version := ref, 0
+	if at := strings.LastIndexByte(ref, '@'); at >= 0 {
+		v, err := strconv.Atoi(ref[at+1:])
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad model version in %q", ref)
+		}
+		name, version = ref[:at], v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions := r.models[name]
+	if len(versions) == 0 {
+		return fmt.Errorf("model %q not found", name)
+	}
+	if version == 0 {
+		delete(r.models, name)
+		return nil
+	}
+	if _, ok := versions[version]; !ok {
+		return fmt.Errorf("model %q has no version %d", name, version)
+	}
+	delete(versions, version)
+	if len(versions) == 0 {
+		delete(r.models, name)
+	}
+	return nil
+}
+
+// List returns every registered checkpoint, sorted by name then version.
+func (r *modelRegistry) List() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []ModelInfo
+	for _, versions := range r.models {
+		for _, e := range versions {
+			out = append(out, e.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// LoadDir registers every checkpoint file in dir (non-recursive) as
+// version 1 of its base filename (extension stripped). Unreadable or
+// non-checkpoint files are skipped and reported via logf; it returns the
+// number of models loaded.
+func (r *modelRegistry) LoadDir(dir string, logf func(string, ...any)) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		m, err := loadCheckpointFile(path)
+		if err != nil {
+			logf("serve: skipping %s: %v", path, err)
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), filepath.Ext(de.Name()))
+		if _, err := r.Put(name, 0, m); err != nil {
+			logf("serve: skipping %s: %v", path, err)
+			continue
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+func loadCheckpointFile(path string) (*gnn.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return gnn.Load(io.LimitReader(f, 1<<30))
+}

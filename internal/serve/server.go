@@ -1,0 +1,231 @@
+// Package serve is the influence-serving layer of the repository: an
+// HTTP daemon (cmd/privimd) that hosts trained PrivIM checkpoints and
+// answers seed-selection and scoring queries over uploaded graphs.
+//
+// The subsystem composes five parts:
+//
+//   - a model registry of named, versioned gnn.Save checkpoints
+//     (directory preload at boot + upload CRUD at runtime);
+//   - a graph store whose entries are content-addressed by
+//     graph.Fingerprint, the deterministic FNV-1a hash of the canonical
+//     node/edge/weight stream;
+//   - query endpoints (POST /v1/score, POST /v1/seeds) backed by an LRU
+//     result cache keyed by (model@version, fingerprint, k, mode) — the
+//     paper's deployment shape, where the non-private indicator is
+//     queried repeatedly against one privately trained model;
+//   - an async training-job API (POST /v1/train → job ID → poll/cancel)
+//     running privim.Train on a bounded worker pool, each job journaling
+//     its event stream to per-job JSONL;
+//   - production hardening: admission control (semaphore + 429),
+//     per-request timeouts, request-size limits, graceful drain, and
+//     /healthz + /metrics wired into the internal/obs registry.
+//
+// Everything is stdlib net/http; the package exposes a Handler so tests
+// and embedders can mount it anywhere.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"privim/internal/obs"
+)
+
+// Options configure a Server. Zero values pick production-reasonable
+// defaults.
+type Options struct {
+	// ModelsDir, when set, preloads every checkpoint file in the
+	// directory into the registry at construction (version 1, named by
+	// base filename).
+	ModelsDir string
+	// JournalDir, when set, gives every training job a per-job JSONL
+	// event journal <dir>/<job-id>.jsonl.
+	JournalDir string
+
+	// MaxConcurrent bounds in-flight requests across all /v1 endpoints;
+	// excess requests get 429 (default 8).
+	MaxConcurrent int
+	// QueryTimeout bounds /v1/score, /v1/seeds, and /v1/train handler
+	// time (default 30s).
+	QueryTimeout time.Duration
+	// MaxBodyBytes bounds uploaded request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// TrainWorkers sizes the training worker pool (default 2).
+	TrainWorkers int
+	// TrainQueue bounds queued-but-not-running jobs; a full queue 429s
+	// (default 16).
+	TrainQueue int
+	// CacheSize bounds the LRU result cache entry count (default 256).
+	CacheSize int
+
+	// Registry receives the server's metrics (requests, latency, cache
+	// hit/miss, job counts); nil creates a private one. Sharing the
+	// daemon's registry here makes /metrics and /debug/vars agree.
+	Registry *obs.Registry
+	// Observer, when non-nil, is fanned into every training job's
+	// pipeline events in addition to the per-job journal.
+	Observer obs.Observer
+	// Logf receives operational log lines (default: discard).
+	Logf func(string, ...any)
+}
+
+func (o *Options) fillDefaults() {
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = 8
+	}
+	if o.QueryTimeout == 0 {
+		o.QueryTimeout = 30 * time.Second
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	if o.TrainWorkers == 0 {
+		o.TrainWorkers = 2
+	}
+	if o.TrainQueue == 0 {
+		o.TrainQueue = 16
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Server is the influence-serving daemon core: registry, graph store,
+// result cache, job pool, and the HTTP API over them.
+type Server struct {
+	opts      Options
+	reg       *obs.Registry
+	models    *modelRegistry
+	graphs    *graphStore
+	cache     *lruCache
+	jobs      *jobManager
+	admission *admission
+	mux       *http.ServeMux
+	handler   http.Handler
+	draining  atomic.Bool
+}
+
+// New constructs a Server, preloading Options.ModelsDir when set.
+func New(opts Options) (*Server, error) {
+	opts.fillDefaults()
+	s := &Server{
+		opts:   opts,
+		reg:    opts.Registry,
+		models: newModelRegistry(),
+		graphs: newGraphStore(),
+		cache:  newLRUCache(opts.CacheSize),
+	}
+	if opts.ModelsDir != "" {
+		n, err := s.models.LoadDir(opts.ModelsDir, opts.Logf)
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading models from %s: %w", opts.ModelsDir, err)
+		}
+		opts.Logf("serve: loaded %d checkpoint(s) from %s", n, opts.ModelsDir)
+	}
+	// Training events always aggregate into the server registry (so
+	// /metrics covers job telemetry) alongside any caller observer.
+	s.jobs = newJobManager(opts.TrainWorkers, opts.TrainQueue, opts.JournalDir,
+		obs.Multi(opts.Observer, s.reg), s.models, s.reg, opts.Logf)
+	s.admission = newAdmission(opts.MaxConcurrent, s.reg)
+	s.buildRoutes()
+	return s, nil
+}
+
+// Registry returns the metrics registry the server reports into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// StoreGraph parses an edge-list body and stores it under name — the
+// programmatic twin of POST /v1/graphs/{name}, used by the daemon's
+// -graphs preload.
+func (s *Server) StoreGraph(name string, data []byte) (GraphInfo, error) {
+	g, err := parseGraphUpload(data)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return s.graphs.Put(name, g)
+}
+
+// Handler returns the full HTTP API. The outermost layer records request
+// count and latency; admission control and per-request timeouts apply
+// per route group underneath.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Drain stops accepting training jobs, waits for queued and running
+// jobs to finish (bounded by ctx), and flips /healthz to draining. HTTP
+// in-flight draining is the owning http.Server's job (Shutdown); call
+// that first, then Drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.jobs.Shutdown(ctx)
+}
+
+// Close is Drain with a 5-second bound, for tests and defer.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Drain(ctx)
+}
+
+func (s *Server) buildRoutes() {
+	mux := http.NewServeMux()
+	admit := s.admission.wrap
+	timeout := func(h http.Handler) http.Handler {
+		return http.TimeoutHandler(h, s.opts.QueryTimeout, `{"error":"request timed out"}`)
+	}
+	hf := func(f http.HandlerFunc) http.Handler { return f }
+
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	mux.Handle("GET /v1/models", admit(hf(s.handleModelList)))
+	mux.Handle("POST /v1/models/{name}", admit(hf(s.handleModelPut)))
+	mux.Handle("GET /v1/models/{name}", admit(hf(s.handleModelGet)))
+	mux.Handle("DELETE /v1/models/{name}", admit(hf(s.handleModelDelete)))
+
+	mux.Handle("GET /v1/graphs", admit(hf(s.handleGraphList)))
+	mux.Handle("POST /v1/graphs/{name}", admit(hf(s.handleGraphPut)))
+	mux.Handle("GET /v1/graphs/{name}", admit(hf(s.handleGraphGet)))
+	mux.Handle("DELETE /v1/graphs/{name}", admit(hf(s.handleGraphDelete)))
+
+	mux.Handle("POST /v1/score", admit(timeout(hf(s.handleScore))))
+	mux.Handle("POST /v1/seeds", admit(timeout(hf(s.handleSeeds))))
+
+	mux.Handle("POST /v1/train", admit(timeout(hf(s.handleTrain))))
+	mux.Handle("GET /v1/jobs", admit(hf(s.handleJobList)))
+	mux.Handle("GET /v1/jobs/{id}", admit(hf(s.handleJobGet)))
+	mux.Handle("DELETE /v1/jobs/{id}", admit(hf(s.handleJobCancel)))
+
+	s.mux = mux
+	requests := s.reg.Counter("serve.http.requests")
+	latency := s.reg.Histogram("serve.http.latency_us")
+	s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		start := time.Now()
+		mux.ServeHTTP(w, r)
+		latency.Observe(float64(time.Since(start).Microseconds()))
+	})
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // client gone; nothing useful to do
+}
+
+// httpError writes a JSON error envelope.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

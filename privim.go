@@ -40,6 +40,7 @@ import (
 	"privim/internal/im"
 	"privim/internal/obs"
 	core "privim/internal/privim"
+	"privim/internal/tensor"
 )
 
 // Graph types.
@@ -217,9 +218,14 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // remain, so the result stays free to ignore).
 func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
 
+// DebugServer is a running expvar/pprof debug endpoint with a shutdown
+// handle (Addr, Shutdown, Close).
+type DebugServer = obs.DebugServer
+
 // StartDebugServer serves expvar (/debug/vars) and pprof (/debug/pprof/)
-// on addr in the background, returning the bound address.
-func StartDebugServer(addr string) (string, error) { return obs.StartDebugServer(addr) }
+// on addr in the background, returning the live server handle; call
+// Shutdown (graceful) or Close (immediate) when done with it.
+func StartDebugServer(addr string) (*DebugServer, error) { return obs.StartDebugServer(addr) }
 
 // Classical IM solvers.
 type (
@@ -280,8 +286,21 @@ func Audit(g *Graph, cfg AuditConfig) (*AuditReport, error) { return audit.Run(g
 
 // GNN model persistence.
 
-// LoadModel reads a checkpoint written by Result.Model.Save.
-func LoadModel(r io.Reader) (*gnn.Model, error) { return gnn.Load(r) }
+// Model is a trained GNN; obtain one from Result.Model or LoadModel and
+// persist it with Result.SaveModel / Model.Save.
+type Model = gnn.Model
+
+// LoadModel reads a checkpoint written by Result.SaveModel (or
+// Model.Save).
+func LoadModel(r io.Reader) (*Model, error) { return gnn.Load(r) }
+
+// ScoreModel runs a (possibly checkpoint-loaded) model over g with the
+// standard structural features, returning per-node seed probabilities —
+// the same scoring path Result.Scores uses, available without a Result.
+func ScoreModel(m *Model, g *Graph) []float64 {
+	x := tensor.FromSlice(g.NumNodes(), dataset.NumStructuralFeatures, dataset.StructuralFeatures(g))
+	return m.Score(g, x)
+}
 
 // Graph metrics (Table I style structural summaries).
 
