@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race cover bench suite suite-paper examples fuzz serve-smoke clean
+.PHONY: all build test vet lint race cover bench bench-all bench-smoke suite suite-paper examples fuzz serve-smoke clean
 
 all: build vet test
 
@@ -23,13 +23,25 @@ test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/privim/ ./internal/diffusion/ ./internal/expt/ ./internal/serve/ ./internal/graph/
+	$(GO) test -race ./internal/obs/ ./internal/privim/ ./internal/diffusion/ ./internal/expt/ ./internal/serve/ ./internal/graph/ \
+		./internal/parallel/ ./internal/tensor/ ./internal/autodiff/ ./internal/nn/ ./internal/im/
 
 cover:
 	$(GO) test -cover ./...
 
+# Worker-pool kernel benchmarks at widths 1/2/4/8, aggregated into
+# BENCH_PR3.json (ns/op, allocs/op, speedup vs serial) by cmd/benchjson.
 bench:
+	$(GO) test -run '^$$' -bench=BenchmarkParallel -benchmem -count=3 . | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+
+# The historical full sweep: every benchmark in the repo, once.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration per kernel benchmark, then assert the JSON emitter produces
+# a parseable, non-degenerate report.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=BenchmarkParallel -benchtime=1x -benchmem . | $(GO) run ./cmd/benchjson -validate -o /dev/null
 
 # Laptop-scale reproduction of every table and figure (~minutes).
 suite:

@@ -1,0 +1,223 @@
+// Command benchjson converts `go test -bench` text output (on stdin) into
+// a machine-readable JSON report: per-benchmark ns/op, B/op, and allocs/op
+// aggregated across -count repetitions (best-of, the conventional noise
+// floor), plus speedup-vs-serial rows for benchmark families that sweep
+// pool widths with /workers=N sub-benchmarks. The Makefile's bench target
+// pipes into it to produce BENCH_PR3.json; -validate makes it a smoke
+// check that the emitter round-trips.
+//
+// Usage:
+//
+//	go test -bench=Parallel -benchmem -count=3 . | benchjson -o BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line, e.g.
+//
+//	BenchmarkParallelGEMM/workers=2-8  142  8205183 ns/op  1064 B/op  18 allocs/op
+//
+// The B/op and allocs/op columns only appear under -benchmem.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// sample is one parsed benchmark line.
+type sample struct {
+	iters  int
+	nsOp   float64
+	bOp    float64
+	allocs float64
+	hasMem bool
+}
+
+// Bench is the aggregated result of one benchmark across repetitions.
+type Bench struct {
+	Name        string  `json:"name"`
+	Count       int     `json:"count"`
+	NsPerOp     float64 `json:"ns_per_op"`      // best (minimum) across repetitions
+	NsPerOpMean float64 `json:"ns_per_op_mean"` // mean across repetitions
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup compares one /workers=N variant against its family's /workers=1
+// baseline (best-of ns/op on both sides).
+type Speedup struct {
+	Family  string  `json:"family"`
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	Benchmarks []Bench   `json:"benchmarks"`
+	Speedups   []Speedup `json:"speedups,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "-", "output path (- for stdout)")
+	validate := flag.Bool("validate", false, "require at least one benchmark and a round-trippable report")
+	flag.Parse()
+
+	samples := make(map[string][]sample)
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := stripProcSuffix(m[1])
+		s := sample{}
+		s.iters, _ = strconv.Atoi(m[2])
+		s.nsOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			s.bOp, _ = strconv.ParseFloat(m[4], 64)
+			s.allocs, _ = strconv.ParseFloat(m[5], 64)
+			s.hasMem = true
+		}
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		fatal("benchjson: read: %v", err)
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, name := range order {
+		rep.Benchmarks = append(rep.Benchmarks, aggregate(name, samples[name]))
+	}
+	rep.Speedups = speedups(rep.Benchmarks)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("benchjson: marshal: %v", err)
+	}
+	data = append(data, '\n')
+
+	if *validate {
+		if len(rep.Benchmarks) == 0 {
+			fatal("benchjson: validate: no benchmark lines parsed")
+		}
+		var back Report
+		if err := json.Unmarshal(data, &back); err != nil {
+			fatal("benchjson: validate: emitted JSON does not round-trip: %v", err)
+		}
+		for _, b := range back.Benchmarks {
+			if b.Name == "" || b.NsPerOp <= 0 {
+				fatal("benchjson: validate: degenerate entry %+v", b)
+			}
+		}
+	}
+
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks (%d speedup rows) to %s\n",
+		len(rep.Benchmarks), len(rep.Speedups), *out)
+}
+
+// stripProcSuffix removes the trailing -GOMAXPROCS go test appends
+// ("BenchmarkX/workers=2-8" → "BenchmarkX/workers=2").
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func aggregate(name string, ss []sample) Bench {
+	b := Bench{Name: name, Count: len(ss), NsPerOp: ss[0].nsOp}
+	var sum float64
+	for _, s := range ss {
+		sum += s.nsOp
+		if s.nsOp < b.NsPerOp {
+			b.NsPerOp = s.nsOp
+		}
+		if s.hasMem {
+			// B/op and allocs/op are deterministic per workload; last wins.
+			b.BytesPerOp = s.bOp
+			b.AllocsPerOp = s.allocs
+		}
+	}
+	b.NsPerOpMean = sum / float64(len(ss))
+	return b
+}
+
+// speedups derives speedup-vs-serial rows for every family that has both a
+// /workers=1 baseline and at least one wider variant.
+func speedups(benches []Bench) []Speedup {
+	base := make(map[string]float64)
+	for _, b := range benches {
+		if fam, w, ok := splitWorkers(b.Name); ok && w == 1 {
+			base[fam] = b.NsPerOp
+		}
+	}
+	var out []Speedup
+	for _, b := range benches {
+		fam, w, ok := splitWorkers(b.Name)
+		if !ok || w == 1 {
+			continue
+		}
+		serial, has := base[fam]
+		if !has || b.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, Speedup{Family: fam, Workers: w, NsPerOp: b.NsPerOp, Speedup: serial / b.NsPerOp})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		return out[i].Workers < out[j].Workers
+	})
+	return out
+}
+
+// splitWorkers parses "Family/workers=N" names.
+func splitWorkers(name string) (family string, workers int, ok bool) {
+	i := strings.Index(name, "/workers=")
+	if i < 0 {
+		return "", 0, false
+	}
+	w, err := strconv.Atoi(name[i+len("/workers="):])
+	if err != nil {
+		return "", 0, false
+	}
+	return name[:i], w, true
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

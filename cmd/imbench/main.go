@@ -39,6 +39,7 @@ func main() {
 		paper    = flag.Bool("paper", false, "paper-faithful settings (full scale, slow)")
 		datasets = flag.String("datasets", "", "comma-separated preset subset")
 		jsonPath = flag.String("json", "", "with 'all': also write machine-readable results to this JSON file")
+		workers  = cliutil.RegisterWorkers(flag.CommandLine)
 		obsFlags cliutil.ObserverFlags
 	)
 	obsFlags.Register(flag.CommandLine)
@@ -47,6 +48,7 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	cliutil.ApplyWorkers(*workers)
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

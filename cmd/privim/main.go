@@ -43,10 +43,12 @@ func main() {
 		steps     = flag.Int("j", 1, "diffusion steps for evaluation and loss")
 		savePath  = flag.String("save", "", "write the trained model checkpoint to this path")
 		loadPath  = flag.String("load", "", "skip training and score with this checkpoint")
+		workers   = cliutil.RegisterWorkers(flag.CommandLine)
 		obsFlags  cliutil.ObserverFlags
 	)
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+	cliutil.ApplyWorkers(*workers)
 
 	stack, err := obsFlags.Setup("privim", nil)
 	if err != nil {

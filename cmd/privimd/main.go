@@ -54,10 +54,14 @@ func main() {
 		trainQueue    = flag.Int("train-queue", 16, "max queued training jobs before 429")
 		cacheSize     = flag.Int("cache-size", 256, "LRU result-cache entry capacity")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
+		workers       = cliutil.RegisterWorkers(flag.CommandLine)
 		obsFlags      cliutil.ObserverFlags
 	)
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+	// Apply before serve.New: the job manager splits this limit across its
+	// -train-workers slots to size each job's compute pool.
+	cliutil.ApplyWorkers(*workers)
 
 	logger := log.New(os.Stderr, "privimd: ", log.LstdFlags)
 

@@ -3,19 +3,74 @@ package autodiff
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"privim/internal/graph"
+	"privim/internal/parallel"
 	"privim/internal/tensor"
 )
 
 // SparseMat is a static sparse matrix in coordinate form, used for
 // adjacency-based aggregation. Entry k contributes W[k]·X[Src[k]] to output
 // row Dst[k] under SpMM. It is data (not differentiated through).
+//
+// For large operands SpMM runs row-parallel on the shared worker pool:
+// entries are lazily grouped by destination row (forward) and by source
+// row (backward) with the original entry order preserved inside each
+// group, so every output element accumulates in exactly the serial
+// entry order and the result is bit-for-bit identical at any worker
+// count.
 type SparseMat struct {
 	NumRows, NumCols int
 	Dst, Src         []int32
 	W                []float64
+
+	groupOnce sync.Once
+	byDst     rowGroup // entries grouped by Dst: forward row-parallelism
+	bySrc     rowGroup // entries grouped by Src: backward row-parallelism
 }
+
+// rowGroup is a stable bucketing of entry indices by row: entries of row
+// r are perm[start[r]:start[r+1]], in ascending original order.
+type rowGroup struct {
+	start []int32
+	perm  []int32
+}
+
+// groupBy stably buckets entry indices by key (counting sort).
+func groupBy(key []int32, numRows int) rowGroup {
+	start := make([]int32, numRows+1)
+	for _, r := range key {
+		start[r+1]++
+	}
+	for r := 0; r < numRows; r++ {
+		start[r+1] += start[r]
+	}
+	perm := make([]int32, len(key))
+	next := make([]int32, numRows)
+	copy(next, start[:numRows])
+	for k, r := range key {
+		perm[next[r]] = int32(k)
+		next[r]++
+	}
+	return rowGroup{start: start, perm: perm}
+}
+
+func (a *SparseMat) groups() (byDst, bySrc rowGroup) {
+	a.groupOnce.Do(func() {
+		a.byDst = groupBy(a.Dst, a.NumRows)
+		a.bySrc = groupBy(a.Src, a.NumCols)
+	})
+	return a.byDst, a.bySrc
+}
+
+// spmmParallelWork is the crossover (entries × columns) below which the
+// streaming serial loops win; the n=20–80 training subgraphs stay serial,
+// full-graph inference crosses it.
+const spmmParallelWork = 1 << 16
+
+// spmmRowGrain is the number of output rows one parallel chunk covers.
+const spmmRowGrain = 64
 
 // NewSparse validates and wraps a coordinate-form sparse matrix.
 func NewSparse(numRows, numCols int, dst, src []int32, w []float64) *SparseMat {
@@ -89,34 +144,81 @@ func GCNNormalized(g *graph.Graph) *SparseMat {
 
 func sqrtProd(a, b float64) float64 { return math.Sqrt(a * b) }
 
-// SpMM returns A·X for a static sparse A and a tape node X.
+// SpMM returns A·X for a static sparse A and a tape node X. Forward and
+// backward run row-parallel above the crossover; see SparseMat.
 func SpMM(a *SparseMat, x *Node) *Node {
 	if x.Value.Rows != a.NumCols {
 		panic(fmt.Sprintf("autodiff: SpMM %dx%d × %dx%d", a.NumRows, a.NumCols, x.Value.Rows, x.Value.Cols))
 	}
 	cols := x.Value.Cols
 	val := tensor.New(a.NumRows, cols)
-	for k := range a.Dst {
-		d, s, w := a.Dst[k], a.Src[k], a.W[k]
-		drow := val.Row(int(d))
-		srow := x.Value.Row(int(s))
-		for j := 0; j < cols; j++ {
-			drow[j] += w * srow[j]
-		}
-	}
+	spmmForward(a, x.Value, val)
 	out := x.tape.add(val, nil)
 	out.backward = func() {
-		gx := x.grad()
+		spmmBackward(a, out.Grad, x.grad())
+	}
+	return out
+}
+
+// spmmForward computes val += A·x. Output rows are disjoint across
+// parallel chunks and each row accumulates its entries in original
+// (serial) order, so the result is worker-count independent.
+func spmmForward(a *SparseMat, x, val *tensor.Matrix) {
+	cols := x.Cols
+	if len(a.W)*cols < spmmParallelWork || parallel.Limit() == 1 {
 		for k := range a.Dst {
 			d, s, w := a.Dst[k], a.Src[k], a.W[k]
-			grow := out.Grad.Row(int(d))
+			drow := val.Row(int(d))
+			srow := x.Row(int(s))
+			for j := 0; j < cols; j++ {
+				drow[j] += w * srow[j]
+			}
+		}
+		return
+	}
+	byDst, _ := a.groups()
+	parallel.For(0, a.NumRows, spmmRowGrain, func(_, lo, hi int) {
+		for d := lo; d < hi; d++ {
+			drow := val.Row(d)
+			for _, k := range byDst.perm[byDst.start[d]:byDst.start[d+1]] {
+				w := a.W[k]
+				srow := x.Row(int(a.Src[k]))
+				for j := 0; j < cols; j++ {
+					drow[j] += w * srow[j]
+				}
+			}
+		}
+	})
+}
+
+// spmmBackward computes gx += Aᵀ·grad, parallel over source rows (the
+// gradient's scatter targets), mirroring spmmForward's determinism.
+func spmmBackward(a *SparseMat, grad, gx *tensor.Matrix) {
+	cols := grad.Cols
+	if len(a.W)*cols < spmmParallelWork || parallel.Limit() == 1 {
+		for k := range a.Dst {
+			d, s, w := a.Dst[k], a.Src[k], a.W[k]
+			grow := grad.Row(int(d))
 			srow := gx.Row(int(s))
 			for j := 0; j < cols; j++ {
 				srow[j] += w * grow[j]
 			}
 		}
+		return
 	}
-	return out
+	_, bySrc := a.groups()
+	parallel.For(0, a.NumCols, spmmRowGrain, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			srow := gx.Row(s)
+			for _, k := range bySrc.perm[bySrc.start[s]:bySrc.start[s+1]] {
+				w := a.W[k]
+				grow := grad.Row(int(a.Dst[k]))
+				for j := 0; j < cols; j++ {
+					srow[j] += w * grow[j]
+				}
+			}
+		}
+	})
 }
 
 // GatherRows returns a matrix whose i-th row is x's idx[i]-th row. idx may

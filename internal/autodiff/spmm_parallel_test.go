@@ -1,0 +1,130 @@
+package autodiff
+
+import (
+	"math/rand"
+	"testing"
+
+	"privim/internal/parallel"
+	"privim/internal/tensor"
+)
+
+// bigSparse builds a sparse matrix large enough to cross the SpMM
+// parallel threshold (entries × cols ≥ spmmParallelWork).
+func bigSparse(n, deg int, rng *rand.Rand) *SparseMat {
+	var dst, src []int32
+	var w []float64
+	for u := 0; u < n; u++ {
+		for d := 0; d < deg; d++ {
+			dst = append(dst, int32(u))
+			src = append(src, int32(rng.Intn(n)))
+			w = append(w, rng.Float64())
+		}
+	}
+	return NewSparse(n, n, dst, src, w)
+}
+
+// TestSpMMParallelBitExact pins forward and backward SpMM to exact
+// float64 equality between the serial streaming loop and the row-grouped
+// parallel path at several worker counts.
+func TestSpMMParallelBitExact(t *testing.T) {
+	defer parallel.SetLimit(0)
+	rng := rand.New(rand.NewSource(11))
+	n, cols := 1200, 16
+	a := bigSparse(n, 8, rng)
+	if len(a.W)*cols < spmmParallelWork {
+		t.Fatalf("test operand below parallel crossover: %d", len(a.W)*cols)
+	}
+	x := tensor.New(n, cols)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	grad := tensor.New(n, cols)
+	for i := range grad.Data {
+		grad.Data[i] = rng.NormFloat64()
+	}
+
+	parallel.SetLimit(1)
+	fwdSerial := tensor.New(n, cols)
+	spmmForward(a, x, fwdSerial)
+	bwdSerial := tensor.New(n, cols)
+	spmmBackward(a, grad, bwdSerial)
+
+	for _, workers := range []int{2, 4, 9} {
+		parallel.SetLimit(workers)
+		fwd := tensor.New(n, cols)
+		spmmForward(a, x, fwd)
+		bwd := tensor.New(n, cols)
+		spmmBackward(a, grad, bwd)
+		for i := range fwdSerial.Data {
+			if fwd.Data[i] != fwdSerial.Data[i] {
+				t.Fatalf("workers=%d forward element %d: %v != %v", workers, i, fwd.Data[i], fwdSerial.Data[i])
+			}
+		}
+		for i := range bwdSerial.Data {
+			if bwd.Data[i] != bwdSerial.Data[i] {
+				t.Fatalf("workers=%d backward element %d: %v != %v", workers, i, bwd.Data[i], bwdSerial.Data[i])
+			}
+		}
+	}
+}
+
+// TestSpMMGroupsPartitionEntries checks the lazy row-grouping is a
+// stable partition of the entry indices.
+func TestSpMMGroupsPartitionEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := bigSparse(50, 3, rng)
+	byDst, bySrc := a.groups()
+	for _, g := range []rowGroup{byDst, bySrc} {
+		if len(g.perm) != len(a.W) {
+			t.Fatalf("group perm covers %d of %d entries", len(g.perm), len(a.W))
+		}
+		seen := make([]bool, len(a.W))
+		for _, k := range g.perm {
+			if seen[k] {
+				t.Fatalf("entry %d appears twice", k)
+			}
+			seen[k] = true
+		}
+	}
+	// Stability: within a destination row, entries keep ascending order.
+	for d := 0; d < a.NumRows; d++ {
+		prev := int32(-1)
+		for _, k := range byDst.perm[byDst.start[d]:byDst.start[d+1]] {
+			if a.Dst[k] != int32(d) {
+				t.Fatalf("entry %d in wrong bucket", k)
+			}
+			if k <= prev {
+				t.Fatalf("bucket %d not in original order", d)
+			}
+			prev = k
+		}
+	}
+}
+
+// TestSpMMViaTapeMatchesDense cross-checks the parallel SpMM against a
+// dense matmul on a crossover-sized operand, through the public tape API.
+func TestSpMMViaTapeMatchesDense(t *testing.T) {
+	defer parallel.SetLimit(0)
+	parallel.SetLimit(4)
+	rng := rand.New(rand.NewSource(13))
+	n, cols := 600, 8
+	a := bigSparse(n, 14, rng)
+	if len(a.W)*cols < spmmParallelWork {
+		t.Fatalf("operand below crossover")
+	}
+	dense := tensor.New(n, n)
+	for k := range a.Dst {
+		dense.Data[int(a.Dst[k])*n+int(a.Src[k])] += a.W[k]
+	}
+	xv := tensor.New(n, cols)
+	for i := range xv.Data {
+		xv.Data[i] = rng.NormFloat64()
+	}
+	tp := NewTape()
+	x := tp.Leaf(xv)
+	out := SpMM(a, x)
+	want := tensor.MatMul(dense, xv)
+	if !tensor.Equal(out.Value, want, 1e-9) {
+		t.Fatal("parallel SpMM diverges from dense reference")
+	}
+}

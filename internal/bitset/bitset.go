@@ -34,6 +34,16 @@ func (s *Set) Add(i int) {
 	s.words[i>>6] |= 1 << (uint(i) & 63)
 }
 
+// Remove clears bit i. Paired with Add it lets scratch sets reset in time
+// proportional to the bits touched rather than the capacity — the trick the
+// RR-set sampler in internal/im relies on to stay allocation-free per draw.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: Remove(%d) capacity %d", i, s.n))
+	}
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
 // Contains reports whether bit i is set.
 func (s *Set) Contains(i int) bool {
 	if i < 0 || i >= s.n {

@@ -29,6 +29,29 @@ func TestBasics(t *testing.T) {
 	}
 }
 
+func TestRemove(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		s.Add(i)
+	}
+	s.Remove(63)
+	s.Remove(129)
+	s.Remove(5) // clearing an unset bit is a no-op
+	if s.Count() != 2 || s.Contains(63) || s.Contains(129) || !s.Contains(0) || !s.Contains(64) {
+		t.Fatalf("after removals: count=%d", s.Count())
+	}
+	for _, i := range []int{-1, 130} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Remove(%d) should panic", i)
+				}
+			}()
+			s.Remove(i)
+		}()
+	}
+}
+
 func TestAddPanics(t *testing.T) {
 	s := New(10)
 	for _, i := range []int{-1, 10} {

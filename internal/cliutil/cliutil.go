@@ -13,7 +13,26 @@ import (
 	"time"
 
 	"privim/internal/obs"
+	"privim/internal/parallel"
 )
+
+// RegisterWorkers installs the shared -workers flag on fs. Call
+// ApplyWorkers with the parsed value after fs.Parse; keeping the two steps
+// explicit lets the daemon apply it before computing per-job budgets.
+func RegisterWorkers(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0,
+		"worker-pool width for parallel kernels (GEMM, DP-SGD, RR sets, MC rounds); 0 = PRIVIM_WORKERS env, then GOMAXPROCS")
+}
+
+// ApplyWorkers pins the process-wide pool width when n > 0; n <= 0 leaves
+// the PRIVIM_WORKERS / GOMAXPROCS default in place. Results of every
+// parallel path are bit-for-bit independent of the width — the flag trades
+// wall-clock against CPU share only.
+func ApplyWorkers(n int) {
+	if n > 0 {
+		parallel.SetLimit(n)
+	}
+}
 
 // ObserverFlags is the observability flag pair every binary exposes.
 // Register installs the flags on a FlagSet; Setup builds the stack the

@@ -8,12 +8,11 @@ package diffusion
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 	"time"
 
 	"privim/internal/graph"
 	"privim/internal/obs"
+	"privim/internal/parallel"
 )
 
 // Model simulates one cascade from a seed set and reports the number of
@@ -186,11 +185,20 @@ func (m *SIS) Simulate(seeds []graph.NodeID, rng *rand.Rand) int {
 }
 
 // Estimate runs rounds Monte Carlo simulations of model from seeds and
-// returns the mean spread. Simulations run in parallel across CPUs;
-// the result is deterministic for a fixed seed and rounds because each
-// round derives its own rng from the round index.
+// returns the mean spread. Simulations fan out on the shared worker pool;
+// the result is deterministic for any worker count because each round
+// derives its own rng from the round index and the per-round spreads are
+// integers (an order-independent sum).
 func Estimate(model Model, seeds []graph.NodeID, rounds int, seed int64) float64 {
-	return EstimateObserved(model, seeds, rounds, seed, nil)
+	return estimate(model, seeds, rounds, seed, 0, nil)
+}
+
+// EstimateWorkers is Estimate with an explicit worker-pool width: 0 means
+// the process default (parallel.Resolve), 1 forces inline serial execution.
+// Outer-parallel callers (the CELF/Greedy initial-gain pass) pass 1 so the
+// per-candidate estimates do not nest a second fan-out.
+func EstimateWorkers(model Model, seeds []graph.NodeID, rounds int, seed int64, workers int) float64 {
+	return estimate(model, seeds, rounds, seed, workers, nil)
 }
 
 // EstimateObserved is Estimate with live telemetry: when o is non-nil it
@@ -198,11 +206,15 @@ func Estimate(model Model, seeds []graph.NodeID, rounds int, seed int64) float64
 // cascade-size histogram. A nil observer adds one predictable branch per
 // round and no allocations — Estimate simply calls through.
 func EstimateObserved(model Model, seeds []graph.NodeID, rounds int, seed int64, o obs.Observer) float64 {
+	return estimate(model, seeds, rounds, seed, 0, o)
+}
+
+func estimate(model Model, seeds []graph.NodeID, rounds int, seed int64, workers int, o obs.Observer) float64 {
 	if rounds < 1 {
 		panic(fmt.Sprintf("diffusion: Estimate rounds = %d", rounds))
 	}
 	start := time.Now()
-	workers := runtime.GOMAXPROCS(0)
+	workers = parallel.Resolve(workers)
 	if workers > rounds {
 		workers = rounds
 	}
@@ -211,24 +223,18 @@ func EstimateObserved(model Model, seeds []graph.NodeID, rounds int, seed int64,
 	if o != nil {
 		sizes = make([][obs.NumBuckets]uint64, workers)
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var local int64
-			for r := w; r < rounds; r += workers {
-				rng := rand.New(rand.NewSource(seed + int64(r)*1_000_003))
-				n := model.Simulate(seeds, rng)
-				local += int64(n)
-				if o != nil {
-					sizes[w][obs.BucketIndex(float64(n))]++
-				}
+	parallel.For(workers, rounds, 8, func(w, lo, hi int) {
+		var local int64
+		for r := lo; r < hi; r++ {
+			rng := rand.New(rand.NewSource(seed + int64(r)*1_000_003))
+			n := model.Simulate(seeds, rng)
+			local += int64(n)
+			if o != nil {
+				sizes[w][obs.BucketIndex(float64(n))]++
 			}
-			totals[w] = local
-		}(w)
-	}
-	wg.Wait()
+		}
+		totals[w] += local
+	})
 	var sum int64
 	for _, v := range totals {
 		sum += v

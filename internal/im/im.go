@@ -10,10 +10,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
+	"privim/internal/bitset"
 	"privim/internal/diffusion"
 	"privim/internal/graph"
 	"privim/internal/obs"
+	"privim/internal/parallel"
 )
 
 // Solver selects a seed set of size k for a diffusion model.
@@ -61,6 +64,10 @@ type CELF struct {
 	Candidates []graph.NodeID
 	// numNodes is required when Candidates is nil.
 	NumNodes int
+	// Workers caps the pool for the initial-gain pass (0 = process
+	// default). Results are identical at any width: every candidate's solo
+	// spread comes from its own per-round rng streams.
+	Workers int
 
 	// Evaluations counts spread estimates performed by the last Select call
 	// (exported for the lazy-evaluation efficiency tests).
@@ -95,15 +102,38 @@ func (c *CELF) Select(k int) []graph.NodeID {
 		rounds = 100
 	}
 	c.Evaluations = 0
+	workers := parallel.Resolve(c.Workers)
 	spread := func(seeds []graph.NodeID) float64 {
 		c.Evaluations++
-		return diffusion.Estimate(c.Model, seeds, rounds, c.Seed)
+		// Serial (lazy) phase: let the estimator itself use the pool.
+		return diffusion.EstimateWorkers(c.Model, seeds, rounds, c.Seed, workers)
 	}
 
-	// Initial pass: evaluate every candidate's solo spread.
+	// Initial pass: every candidate's solo spread is independent, so fan
+	// the candidates out and keep each estimate serial (workers=1) to avoid
+	// nesting. Estimates are per-round-seeded, so gains are identical to
+	// the serial pass.
+	initStart := time.Now()
+	gains := make([]float64, len(cands))
+	st := parallel.For(workers, len(cands), 4, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gains[i] = diffusion.EstimateWorkers(c.Model, cands[i:i+1], rounds, c.Seed, 1)
+		}
+	})
+	c.Evaluations += len(cands)
+	if c.Obs != nil {
+		obs.Emit(c.Obs, obs.ParallelFor{
+			Site:      "im.celf.initial",
+			Workers:   st.Workers,
+			Tasks:     len(cands),
+			Chunks:    st.Chunks,
+			Imbalance: st.Imbalance(),
+			Elapsed:   time.Since(initStart),
+		})
+	}
 	q := make(celfQueue, 0, len(cands))
-	for _, v := range cands {
-		q = append(q, &celfEntry{node: v, gain: spread([]graph.NodeID{v}), round: 0})
+	for i, v := range cands {
+		q = append(q, &celfEntry{node: v, gain: gains[i], round: 0})
 	}
 	heap.Init(&q)
 
@@ -147,6 +177,10 @@ type Greedy struct {
 	Rounds   int
 	Seed     int64
 	NumNodes int
+	// Workers caps the pool for the per-round gain pass (0 = process
+	// default); the argmax stays serial so ties break toward the lowest
+	// node ID exactly as in the serial solver.
+	Workers int
 
 	// Evaluations counts spread estimates performed by the last Select
 	// call (the baseline CELF's LookupsSaved is measured against).
@@ -168,21 +202,33 @@ func (g *Greedy) Select(k int) []graph.NodeID {
 		rounds = 100
 	}
 	g.Evaluations = 0
+	workers := parallel.Resolve(g.Workers)
 	chosen := make(map[graph.NodeID]bool, k)
 	seeds := make([]graph.NodeID, 0, k)
+	gains := make([]float64, g.NumNodes)
 	base := 0.0
 	for len(seeds) < k {
+		// Gain pass: independent per candidate, fanned out with serial
+		// inner estimates (no nesting). Each estimate is per-round-seeded,
+		// so gains match the serial solver exactly.
+		parallel.For(workers, g.NumNodes, 4, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if chosen[graph.NodeID(v)] {
+					gains[v] = -1
+					continue
+				}
+				cand := append(append(make([]graph.NodeID, 0, len(seeds)+1), seeds...), graph.NodeID(v))
+				gains[v] = diffusion.EstimateWorkers(g.Model, cand, rounds, g.Seed, 1)
+			}
+		})
+		g.Evaluations += g.NumNodes - len(seeds)
+		// Serial argmax: first strict improvement wins, preserving the
+		// lowest-node-ID tie-break of the serial loop.
 		bestGain := -1.0
 		var best graph.NodeID
 		for v := 0; v < g.NumNodes; v++ {
-			if chosen[graph.NodeID(v)] {
-				continue
-			}
-			cand := append(append([]graph.NodeID{}, seeds...), graph.NodeID(v))
-			gain := diffusion.Estimate(g.Model, cand, rounds, g.Seed)
-			g.Evaluations++
-			if gain > bestGain {
-				bestGain = gain
+			if !chosen[graph.NodeID(v)] && gains[v] > bestGain {
+				bestGain = gains[v]
 				best = graph.NodeID(v)
 			}
 		}
@@ -286,6 +332,12 @@ type RIS struct {
 	// paper's j=1 setting.
 	MaxDepth int
 	Seed     int64
+	// Workers caps the pool for RR-set generation (0 = process default).
+	// Each RR set draws from its own index-derived rng stream, so the
+	// sampled sets are identical at any width.
+	Workers int
+	// Obs, when non-nil, receives one ParallelFor event per Select call.
+	Obs obs.Observer
 }
 
 // Name implements Solver.
@@ -301,15 +353,24 @@ func (r *RIS) Select(k int) []graph.NodeID {
 	if samples < 1 {
 		samples = 10 * n
 	}
-	rng := rand.New(rand.NewSource(r.Seed))
 	// Build RR sets: from a uniform target, walk reverse arcs, keeping each
-	// with its influence probability.
+	// with its influence probability. Set i draws target and arcs from its
+	// own stream, so generation parallelizes without changing the sample.
+	genStart := time.Now()
 	rrSets := make([][]graph.NodeID, samples)
+	st := generateRRSets(r.G, rrSets, 0, r.MaxDepth, r.Seed, r.Workers)
+	if r.Obs != nil {
+		obs.Emit(r.Obs, obs.ParallelFor{
+			Site:      "im.ris.rrsets",
+			Workers:   st.Workers,
+			Tasks:     samples,
+			Chunks:    st.Chunks,
+			Imbalance: st.Imbalance(),
+			Elapsed:   time.Since(genStart),
+		})
+	}
 	coverOf := make([][]int32, n) // node -> RR-set indices it appears in
-	for i := 0; i < samples; i++ {
-		target := graph.NodeID(rng.Intn(n))
-		set := reverseReachable(r.G, target, r.MaxDepth, rng)
-		rrSets[i] = set
+	for i, set := range rrSets {
 		for _, v := range set {
 			coverOf[v] = append(coverOf[v], int32(i))
 		}
@@ -362,31 +423,77 @@ func (r *RIS) Select(k int) []graph.NodeID {
 	return seeds
 }
 
+// rrScratch is the reusable per-worker state of the RR-set sampler: a
+// dense visited set plus frontier buffers, so each draw allocates only the
+// returned set (the old per-call map was the sampler's dominant cost).
+type rrScratch struct {
+	seen           *bitset.Set
+	frontier, next []graph.NodeID
+}
+
+func newRRScratch(n int) *rrScratch { return &rrScratch{seen: bitset.New(n)} }
+
+// generateRRSets fills rrSets[i] for every i with a set drawn from the
+// stream derived from (seed, base+i) — base offsets the stream index so
+// incremental callers (IMM) keep set identities stable across batches. It
+// fans the draws out on the worker pool with one scratch per worker and
+// returns the pool stats.
+func generateRRSets(g *graph.Graph, rrSets [][]graph.NodeID, base int, maxDepth int, seed int64, workers int) parallel.Stats {
+	n := g.NumNodes()
+	workers = parallel.Resolve(workers)
+	if workers > len(rrSets) {
+		workers = len(rrSets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	scratch := make([]*rrScratch, workers)
+	return parallel.For(workers, len(rrSets), 16, func(w, lo, hi int) {
+		sc := scratch[w]
+		if sc == nil {
+			sc = newRRScratch(n)
+			scratch[w] = sc
+		}
+		for i := lo; i < hi; i++ {
+			rng := parallel.Stream(seed, uint64(base+i))
+			target := graph.NodeID(rng.Intn(n))
+			rrSets[i] = reverseReachable(g, target, maxDepth, rng, sc)
+		}
+	})
+}
+
 // reverseReachable samples one reverse-reachable set from target: a BFS
 // over in-arcs keeping each arc with its influence probability, optionally
-// depth-bounded (maxDepth 0 = unbounded).
-func reverseReachable(g *graph.Graph, target graph.NodeID, maxDepth int, rng *rand.Rand) []graph.NodeID {
-	seen := map[graph.NodeID]bool{target: true}
-	frontier := []graph.NodeID{target}
+// depth-bounded (maxDepth 0 = unbounded). sc is clobbered and left clean
+// (seen empty) for the next draw.
+func reverseReachable(g *graph.Graph, target graph.NodeID, maxDepth int, rng *rand.Rand, sc *rrScratch) []graph.NodeID {
+	sc.seen.Add(int(target))
+	frontier := append(sc.frontier[:0], target)
+	next := sc.next[:0]
 	set := []graph.NodeID{target}
 	for depth := 0; len(frontier) > 0; depth++ {
 		if maxDepth > 0 && depth >= maxDepth {
 			break
 		}
-		var next []graph.NodeID
+		next = next[:0]
 		for _, u := range frontier {
 			for _, a := range g.In(u) {
-				if seen[a.To] {
+				if sc.seen.Contains(int(a.To)) {
 					continue
 				}
 				if rng.Float64() < a.Weight {
-					seen[a.To] = true
+					sc.seen.Add(int(a.To))
 					next = append(next, a.To)
 					set = append(set, a.To)
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
+	}
+	sc.frontier, sc.next = frontier, next
+	// Reset only the touched bits: O(|set|), not O(n).
+	for _, v := range set {
+		sc.seen.Remove(int(v))
 	}
 	return set
 }

@@ -2,9 +2,10 @@ package im
 
 import (
 	"math"
-	"math/rand"
+	"time"
 
 	"privim/internal/graph"
+	"privim/internal/obs"
 )
 
 // IMM implements Influence Maximization via Martingales (Tang, Shi, Xiao —
@@ -27,6 +28,14 @@ type IMM struct {
 	// MaxSamples caps RR-set generation as a safety valve for tiny or
 	// degenerate graphs (default 200·|V|).
 	MaxSamples int
+
+	// Workers caps the pool for RR-set generation (0 = process default).
+	// Set i always draws from the stream derived from (Seed, i), so both
+	// phases produce identical sets at any width.
+	Workers int
+	// Obs, when non-nil, receives one ParallelFor event per generation
+	// batch.
+	Obs obs.Observer
 }
 
 // Name implements Solver.
@@ -43,11 +52,22 @@ func newRRIndex(n int) *rrIndex {
 	return &rrIndex{coverOf: make([][]int32, n)}
 }
 
-func (ix *rrIndex) generate(g *graph.Graph, count, maxDepth int, rng *rand.Rand) {
-	n := g.NumNodes()
-	for i := 0; i < count; i++ {
-		target := graph.NodeID(rng.Intn(n))
-		set := reverseReachable(g, target, maxDepth, rng)
+func (ix *rrIndex) generate(g *graph.Graph, count, maxDepth int, seed int64, workers int, o obs.Observer) {
+	base := len(ix.sets)
+	batch := make([][]graph.NodeID, count)
+	start := time.Now()
+	st := generateRRSets(g, batch, base, maxDepth, seed, workers)
+	if o != nil {
+		obs.Emit(o, obs.ParallelFor{
+			Site:      "im.imm.rrsets",
+			Workers:   st.Workers,
+			Tasks:     count,
+			Chunks:    st.Chunks,
+			Imbalance: st.Imbalance(),
+			Elapsed:   time.Since(start),
+		})
+	}
+	for _, set := range batch {
 		id := int32(len(ix.sets))
 		ix.sets = append(ix.sets, set)
 		for _, v := range set {
@@ -124,7 +144,6 @@ func (s *IMM) Select(k int) []graph.NodeID {
 	if maxSamples <= 0 {
 		maxSamples = 200 * n
 	}
-	rng := rand.New(rand.NewSource(s.Seed))
 	fn := float64(n)
 	logChooseNK := logChooseF(n, k)
 
@@ -145,7 +164,7 @@ func (s *IMM) Select(k int) []graph.NodeID {
 			thetaI = maxSamples
 		}
 		if need := thetaI - len(ix.sets); need > 0 {
-			ix.generate(s.G, need, s.MaxDepth, rng)
+			ix.generate(s.G, need, s.MaxDepth, s.Seed, s.Workers, s.Obs)
 		}
 		_, frac := ix.maxCover(n, k)
 		if fn*frac >= (1+epsPrime)*x {
@@ -166,7 +185,7 @@ func (s *IMM) Select(k int) []graph.NodeID {
 		theta = maxSamples
 	}
 	if need := theta - len(ix.sets); need > 0 {
-		ix.generate(s.G, need, s.MaxDepth, rng)
+		ix.generate(s.G, need, s.MaxDepth, s.Seed, s.Workers, s.Obs)
 	}
 	seeds, _ := ix.maxCover(n, k)
 	return seeds

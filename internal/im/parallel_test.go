@@ -1,0 +1,124 @@
+package im
+
+import (
+	"testing"
+
+	"privim/internal/diffusion"
+	"privim/internal/graph"
+	"privim/internal/obs"
+	"privim/internal/parallel"
+)
+
+// parallelTestGraph builds a small weighted digraph with a clear hub
+// structure so solver outputs are stable and meaningful.
+func parallelTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	n := 40
+	g := graph.NewWithNodes(n, true)
+	for i := 0; i < n; i++ {
+		// Ring for connectivity.
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n), 0.3)
+	}
+	for i := 1; i < 10; i++ {
+		// Node 0 is a hub.
+		g.AddEdge(0, graph.NodeID(i*4%n), 0.8)
+		g.AddEdge(graph.NodeID((i*7)%n), graph.NodeID((i*11)%n), 0.5)
+	}
+	return g
+}
+
+func sameSeeds(t *testing.T, name string, a, b []graph.NodeID) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d seeds", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: seed %d differs: %v vs %v", name, i, a, b)
+		}
+	}
+}
+
+// TestSolversWorkerInvariant verifies every parallelized solver returns
+// bit-identical seed sets at any worker count.
+func TestSolversWorkerInvariant(t *testing.T) {
+	g := parallelTestGraph(t)
+	model := &diffusion.IC{G: g, MaxSteps: 2}
+	for _, w := range []int{2, 3, 8} {
+		celf1 := &CELF{Model: model, Rounds: 50, Seed: 5, NumNodes: g.NumNodes(), Workers: 1}
+		celfW := &CELF{Model: model, Rounds: 50, Seed: 5, NumNodes: g.NumNodes(), Workers: w}
+		sameSeeds(t, "celf", celf1.Select(4), celfW.Select(4))
+		if celf1.Evaluations != celfW.Evaluations {
+			t.Fatalf("celf evaluations differ: %d vs %d", celf1.Evaluations, celfW.Evaluations)
+		}
+
+		greedy1 := &Greedy{Model: model, Rounds: 50, Seed: 5, NumNodes: g.NumNodes(), Workers: 1}
+		greedyW := &Greedy{Model: model, Rounds: 50, Seed: 5, NumNodes: g.NumNodes(), Workers: w}
+		sameSeeds(t, "greedy", greedy1.Select(3), greedyW.Select(3))
+
+		ris1 := &RIS{G: g, Samples: 300, Seed: 9, Workers: 1}
+		risW := &RIS{G: g, Samples: 300, Seed: 9, Workers: w}
+		sameSeeds(t, "ris", ris1.Select(4), risW.Select(4))
+
+		imm1 := &IMM{G: g, Seed: 9, MaxSamples: 400, Workers: 1}
+		immW := &IMM{G: g, Seed: 9, MaxSamples: 400, Workers: w}
+		sameSeeds(t, "imm", imm1.Select(4), immW.Select(4))
+	}
+}
+
+// TestGenerateRRSetsStreamStable checks set i only depends on (seed, base+i):
+// one batch of 2n sets equals two stacked batches of n.
+func TestGenerateRRSetsStreamStable(t *testing.T) {
+	g := parallelTestGraph(t)
+	whole := make([][]graph.NodeID, 100)
+	generateRRSets(g, whole, 0, 0, 42, 3)
+	first := make([][]graph.NodeID, 60)
+	generateRRSets(g, first, 0, 0, 42, 2)
+	second := make([][]graph.NodeID, 40)
+	generateRRSets(g, second, 60, 0, 42, 5)
+	stacked := append(first, second...)
+	for i := range whole {
+		if len(whole[i]) != len(stacked[i]) {
+			t.Fatalf("set %d: %d vs %d nodes", i, len(whole[i]), len(stacked[i]))
+		}
+		for j := range whole[i] {
+			if whole[i][j] != stacked[i][j] {
+				t.Fatalf("set %d node %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestReverseReachableScratchClean verifies a draw leaves the scratch set
+// empty, so reuse across draws cannot leak visited state.
+func TestReverseReachableScratchClean(t *testing.T) {
+	g := parallelTestGraph(t)
+	sc := newRRScratch(g.NumNodes())
+	for i := 0; i < 50; i++ {
+		rng := parallel.Stream(3, uint64(i))
+		target := graph.NodeID(rng.Intn(g.NumNodes()))
+		set := reverseReachable(g, target, 0, rng, sc)
+		if len(set) == 0 || set[0] != target {
+			t.Fatalf("draw %d: set %v does not start at target %d", i, set, target)
+		}
+		if got := sc.seen.Count(); got != 0 {
+			t.Fatalf("draw %d left %d bits set in scratch", i, got)
+		}
+	}
+}
+
+// TestRISEmitsParallelFor checks the RR-generation site reports pool stats.
+func TestRISEmitsParallelFor(t *testing.T) {
+	g := parallelTestGraph(t)
+	var got []obs.ParallelFor
+	r := &RIS{G: g, Samples: 100, Seed: 1, Workers: 2,
+		Obs: obs.ObserverFunc(func(e obs.Event) {
+			if pf, ok := e.(obs.ParallelFor); ok {
+				got = append(got, pf)
+			}
+		})}
+	r.Select(3)
+	if len(got) != 1 || got[0].Site != "im.ris.rrsets" || got[0].Tasks != 100 {
+		t.Fatalf("unexpected ParallelFor events: %+v", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"privim/internal/autodiff"
+	"privim/internal/parallel"
 	"privim/internal/tensor"
 )
 
@@ -117,6 +118,43 @@ func (g *Grads) Zero() {
 func (g *Grads) Add(s float64, o *Grads) {
 	for i, m := range g.mats {
 		tensor.AXPY(m, s, o.mats[i])
+	}
+}
+
+// CopyFrom overwrites g with the values of o (same layout required).
+func (g *Grads) CopyFrom(o *Grads) {
+	if len(g.mats) != len(o.mats) {
+		panic("nn: CopyFrom layout mismatch")
+	}
+	for i, m := range g.mats {
+		copy(m.Data, o.mats[i].Data)
+	}
+}
+
+// SumTree reduces grads[0..n) into grads[0] (clobbering the rest) with a
+// fixed binary tree: level s sums pairs (i, i+s) for i ≡ 0 (mod 2s).
+// The tree shape depends only on len(grads), never on the worker count,
+// so the floating-point result is identical whether the levels run
+// serially or fanned out — the property DP-SGD's noise accumulator needs
+// to stay reproducible under -workers. Pairs within a level touch
+// disjoint gradients and run on the shared worker pool.
+func SumTree(grads []*Grads, workers int) {
+	n := len(grads)
+	for stride := 1; stride < n; stride *= 2 {
+		pairs := 0
+		for i := 0; i+stride < n; i += 2 * stride {
+			pairs++
+		}
+		if pairs == 0 {
+			continue
+		}
+		step := 2 * stride
+		parallel.For(workers, pairs, 1, func(_, lo, hi int) {
+			for p := lo; p < hi; p++ {
+				i := p * step
+				grads[i].Add(1, grads[i+stride])
+			}
+		})
 	}
 }
 

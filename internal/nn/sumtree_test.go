@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sumTreeFixture builds n gradient snapshots with deterministic contents.
+func sumTreeFixture(t *testing.T, n int) (*ParamSet, []*Grads) {
+	t.Helper()
+	ps := NewParamSet()
+	ps.Add("w", 3, 4)
+	ps.Add("b", 1, 4)
+	rng := rand.New(rand.NewSource(11))
+	grads := make([]*Grads, n)
+	for i := range grads {
+		grads[i] = NewGrads(ps)
+		for _, m := range grads[i].Mats() {
+			for j := range m.Data {
+				m.Data[j] = rng.NormFloat64()
+			}
+		}
+	}
+	return ps, grads
+}
+
+// TestSumTreeWorkerInvariant verifies the reduction's defining property:
+// the float result depends only on len(grads), never on the worker count.
+func TestSumTreeWorkerInvariant(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 17} {
+		_, ref := sumTreeFixture(t, n)
+		SumTree(ref, 1)
+		for _, workers := range []int{2, 3, 8} {
+			_, grads := sumTreeFixture(t, n)
+			SumTree(grads, workers)
+			for mi, m := range grads[0].Mats() {
+				want := ref[0].Mats()[mi]
+				for j := range m.Data {
+					if m.Data[j] != want.Data[j] {
+						t.Fatalf("n=%d workers=%d: mat %d coord %d: %v != %v",
+							n, workers, mi, j, m.Data[j], want.Data[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSumTreeMatchesSerialSum checks the tree total is numerically close to
+// the plain left-to-right sum (not bit-equal — the association differs, which
+// is exactly why the tree shape must be fixed).
+func TestSumTreeMatchesSerialSum(t *testing.T) {
+	ps, grads := sumTreeFixture(t, 9)
+	serial := NewGrads(ps)
+	for _, g := range grads {
+		serial.Add(1, g)
+	}
+	SumTree(grads, 4)
+	for mi, m := range grads[0].Mats() {
+		want := serial.Mats()[mi]
+		for j := range m.Data {
+			if d := m.Data[j] - want.Data[j]; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("mat %d coord %d: tree %v vs serial %v", mi, j, m.Data[j], want.Data[j])
+			}
+		}
+	}
+}

@@ -184,3 +184,30 @@ type ExtractionDone struct {
 
 // EventKind implements Event.
 func (ExtractionDone) EventKind() string { return "extraction_done" }
+
+// ParallelFor reports worker-pool activity at one instrumented fan-out
+// site (internal/parallel), so parallel speedups are observable rather
+// than asserted: Workers says how wide the site actually ran, Tasks how
+// much work it split, Imbalance how evenly the pool balanced it.
+type ParallelFor struct {
+	// Site names the fan-out site ("train.dpsgd", "im.ris.rrsets",
+	// "im.celf.initial", ...).
+	Site string `json:"site"`
+	// Workers is the number of goroutines the site ran on (1 = inline
+	// serial execution).
+	Workers int `json:"workers"`
+	// Tasks is the number of work items processed (samples, RR sets,
+	// candidates, row panels).
+	Tasks int `json:"tasks"`
+	// Chunks is the number of grain-sized ranges the pool scheduled.
+	Chunks int `json:"chunks"`
+	// Imbalance is (max−min)/chunks over per-worker chunk counts: 0 is a
+	// perfectly even split, values near 1 mean one worker did nearly
+	// everything.
+	Imbalance float64 `json:"imbalance"`
+	// Elapsed is the wall-clock time of the fanned-out region.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// EventKind implements Event.
+func (ParallelFor) EventKind() string { return "parallel_for" }

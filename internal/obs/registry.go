@@ -94,6 +94,12 @@ func (r *Registry) Emit(e Event) {
 		r.Gauge("im.marginal_gain").Set(ev.MarginalGain)
 		r.Gauge("im.evaluations").Set(float64(ev.Evaluations))
 		r.Gauge("im.lookups_saved").Set(float64(ev.LookupsSaved))
+	case ParallelFor:
+		r.Counter("parallel.calls").Inc()
+		r.Counter("parallel.tasks").Add(int64(ev.Tasks))
+		r.Gauge("parallel." + ev.Site + ".workers").Set(float64(ev.Workers))
+		r.Gauge("parallel." + ev.Site + ".imbalance").Set(ev.Imbalance)
+		r.Histogram("parallel." + ev.Site + ".us").Observe(float64(ev.Elapsed) / float64(time.Microsecond))
 	case ExtractionDone:
 		r.Counter("sampling.extractions").Inc()
 		r.Counter("sampling.subgraphs").Add(int64(ev.Subgraphs))

@@ -1,0 +1,208 @@
+// Package parallel is the shared worker-pool layer behind every compute
+// kernel in the repo: blocked GEMM row panels (internal/tensor), sparse
+// aggregation rows (internal/autodiff), per-sample DP-SGD passes
+// (internal/privim), Monte-Carlo cascade rounds (internal/diffusion), and
+// RR-set / marginal-gain fan-outs (internal/im).
+//
+// Two invariants make it safe to thread through DP code:
+//
+//   - Determinism: For splits [0, n) into fixed grain-sized chunks and
+//     workers claim chunks dynamically, so *which* goroutine runs a chunk
+//     varies — but callers only ever write to disjoint index ranges (or
+//     reduce with order-independent integer sums), so results are
+//     bit-for-bit identical at any worker count. Randomized work draws its
+//     randomness from Stream(seed, i), a per-index SplitMix64 stream, never
+//     from a shared sequential RNG.
+//   - Observability: every For returns Stats (workers used, chunks run per
+//     worker, imbalance), and package-wide atomic totals are exposed via
+//     Totals so speedups are measurable rather than asserted.
+//
+// The process-wide worker cap comes from, in priority order: SetLimit
+// (the -workers flag), the PRIVIM_WORKERS environment variable, and
+// GOMAXPROCS.
+package parallel
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+var limit atomic.Int64
+
+func init() {
+	if s := os.Getenv("PRIVIM_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			limit.Store(int64(n))
+		}
+	}
+}
+
+// SetLimit sets the process-wide default worker cap (the -workers flag).
+// n <= 0 restores the GOMAXPROCS / PRIVIM_WORKERS default.
+func SetLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	limit.Store(int64(n))
+}
+
+// Limit returns the process-wide default worker count: the SetLimit /
+// PRIVIM_WORKERS override when present, GOMAXPROCS otherwise.
+func Limit() int {
+	if n := limit.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Resolve maps a per-call worker request to an effective count: n > 0 is
+// honored as-is, n <= 0 falls back to Limit().
+func Resolve(n int) int {
+	if n > 0 {
+		return n
+	}
+	return Limit()
+}
+
+// Stats describes one For call, for obs counters and tests.
+type Stats struct {
+	// Workers is the number of goroutines that ran chunks (1 = inline).
+	Workers int
+	// Chunks is the number of grain-sized index ranges executed.
+	Chunks int
+	// MaxChunks and MinChunks are the largest and smallest per-worker
+	// chunk counts; their gap measures scheduling imbalance.
+	MaxChunks, MinChunks int
+}
+
+// Imbalance returns (max−min)/chunks ∈ [0, 1]: 0 when every worker ran
+// the same number of chunks, approaching 1 when one worker ran nearly
+// all of them.
+func (s Stats) Imbalance() float64 {
+	if s.Chunks == 0 {
+		return 0
+	}
+	return float64(s.MaxChunks-s.MinChunks) / float64(s.Chunks)
+}
+
+// Package-wide totals, maintained by For.
+var (
+	totalCalls    atomic.Int64
+	totalParallel atomic.Int64
+	totalChunks   atomic.Int64
+)
+
+// Totals reports cumulative For activity since process start: total
+// calls, calls that actually fanned out (vs inline serial), and chunks
+// executed. Exposed so debug endpoints and tests can observe that the
+// parallel paths are exercised.
+func Totals() (calls, parallelCalls, chunks int64) {
+	return totalCalls.Load(), totalParallel.Load(), totalChunks.Load()
+}
+
+// For splits [0, n) into chunks of size grain (grain < 1 means one chunk
+// per worker, rounded up) and runs fn(worker, lo, hi) over them on up to
+// `workers` goroutines (0 = Limit()). Chunks are claimed dynamically via
+// an atomic cursor in ascending order, so fast workers absorb slow
+// chunks. The worker index passed to fn is stable within a call and in
+// [0, Stats.Workers); use it to key per-worker scratch, never to derive
+// randomness or output ordering. For returns after every chunk finished.
+//
+// fn must write only to locations indexed by [lo, hi) (or accumulate
+// into per-worker slots that are later reduced in a fixed order) for the
+// result to be deterministic — every call site in this repo does.
+func For(workers, n, grain int, fn func(worker, lo, hi int)) Stats {
+	if n <= 0 {
+		return Stats{}
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if grain < 1 {
+		grain = (n + workers - 1) / workers
+	}
+	chunks := (n + grain - 1) / grain
+	totalCalls.Add(1)
+	totalChunks.Add(int64(chunks))
+	if workers <= 1 || chunks == 1 {
+		fn(0, 0, n)
+		return Stats{Workers: 1, Chunks: chunks, MaxChunks: chunks, MinChunks: chunks}
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	totalParallel.Add(1)
+	var cursor atomic.Int64
+	ran := make([]int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+				ran[w]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := Stats{Workers: workers, Chunks: chunks, MinChunks: chunks}
+	for _, r := range ran {
+		if r > st.MaxChunks {
+			st.MaxChunks = r
+		}
+		if r < st.MinChunks {
+			st.MinChunks = r
+		}
+	}
+	return st
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// source is a rand.Source64 over a SplitMix64 sequence. Unlike
+// rand.NewSource it has O(1) construction (no 607-word lagged-Fibonacci
+// warm-up), which matters when deriving one stream per RR set or
+// Monte-Carlo round.
+type source struct{ state uint64 }
+
+func (s *source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (s *source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *source) Seed(seed int64) { s.state = splitmix64(uint64(seed)) }
+
+// Stream returns the i-th deterministic RNG stream of a seeded family:
+// independent per-index streams let parallel loops consume randomness
+// without any cross-worker ordering, so output is identical at any
+// worker count. Streams with the same (seed, i) are identical; distinct
+// indices decorrelate through a double SplitMix64 avalanche.
+func Stream(seed int64, i uint64) *rand.Rand {
+	return rand.New(&source{state: splitmix64(splitmix64(uint64(seed)) + i)})
+}

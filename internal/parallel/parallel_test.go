@@ -1,0 +1,184 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			for _, grain := range []int{0, 1, 3, 64, 5000} {
+				hits := make([]int32, n)
+				st := For(workers, n, grain, func(w, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d hit %d times", workers, n, grain, i, h)
+					}
+				}
+				if n > 0 && st.Chunks == 0 {
+					t.Fatalf("workers=%d n=%d grain=%d: zero chunks", workers, n, grain)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIndexInRange(t *testing.T) {
+	var bad atomic.Int64
+	st := For(4, 100, 1, func(w, lo, hi int) {
+		if w < 0 || w >= 4 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker index out of range")
+	}
+	if st.Workers < 1 || st.Workers > 4 {
+		t.Fatalf("Stats.Workers = %d", st.Workers)
+	}
+}
+
+func TestForDeterministicOutput(t *testing.T) {
+	// Disjoint index writes must produce identical results at any worker
+	// count — the contract every call site in the repo depends on.
+	n := 4096
+	ref := make([]uint64, n)
+	For(1, n, 7, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ref[i] = Stream(42, uint64(i)).Uint64()
+		}
+	})
+	for _, workers := range []int{2, 5, 16} {
+		got := make([]uint64, n)
+		For(workers, n, 7, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = Stream(42, uint64(i)).Uint64()
+			}
+		})
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: index %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestStreamsIndependentAndStable(t *testing.T) {
+	a1 := Stream(1, 0)
+	a2 := Stream(1, 0)
+	b := Stream(1, 1)
+	c := Stream(2, 0)
+	x1, x2 := a1.Uint64(), a2.Uint64()
+	if x1 != x2 {
+		t.Fatal("same (seed, stream) must replay identically")
+	}
+	if y := b.Uint64(); y == x1 {
+		t.Fatal("adjacent streams collide on first draw")
+	}
+	if z := c.Uint64(); z == x1 {
+		t.Fatal("different seeds collide on first draw")
+	}
+	// Float64 must be in [0, 1) — exercised because RR-set sampling
+	// compares it against arc weights.
+	for i := 0; i < 1000; i++ {
+		if f := a1.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestStreamUniformity(t *testing.T) {
+	// Coarse sanity: across many streams, first draws should fill all
+	// 16 top-nibble buckets (catches catastrophic mixing bugs).
+	var buckets [16]int
+	for i := 0; i < 4096; i++ {
+		buckets[Stream(7, uint64(i)).Uint64()>>60]++
+	}
+	for b, c := range buckets {
+		if c == 0 {
+			t.Fatalf("bucket %d empty", b)
+		}
+	}
+}
+
+func TestLimitAndResolve(t *testing.T) {
+	old := Limit()
+	SetLimit(3)
+	if Limit() != 3 {
+		t.Fatalf("Limit = %d after SetLimit(3)", Limit())
+	}
+	if Resolve(0) != 3 || Resolve(5) != 5 {
+		t.Fatal("Resolve precedence wrong")
+	}
+	SetLimit(0)
+	if Limit() < 1 {
+		t.Fatal("default Limit must be >= 1")
+	}
+	_ = old
+}
+
+func TestStatsImbalance(t *testing.T) {
+	if (Stats{}).Imbalance() != 0 {
+		t.Fatal("zero Stats imbalance")
+	}
+	s := Stats{Workers: 2, Chunks: 10, MaxChunks: 9, MinChunks: 1}
+	if got := s.Imbalance(); got != 0.8 {
+		t.Fatalf("imbalance = %v", got)
+	}
+}
+
+// TestForHammer drives many concurrent For calls from competing
+// goroutines; run with -race to catch pool-layer data races.
+func TestForHammer(t *testing.T) {
+	var wg = make(chan struct{}, 8)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg <- struct{}{}
+		go func(g int) {
+			defer func() { <-wg }()
+			sum := int64(0)
+			for rep := 0; rep < 20; rep++ {
+				parts := make([]int64, 16)
+				For(4, 500, 9, func(w, lo, hi int) {
+					var local int64
+					for i := lo; i < hi; i++ {
+						local += int64(i)
+					}
+					atomic.AddInt64(&parts[w], local)
+				})
+				sum = 0
+				for _, p := range parts {
+					sum += p
+				}
+			}
+			if sum != 500*499/2 {
+				done <- errSum(sum)
+				return
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errSum int64
+
+func (e errSum) Error() string { return "bad hammer sum" }
+
+func TestTotalsAdvance(t *testing.T) {
+	calls0, _, chunks0 := Totals()
+	For(2, 100, 10, func(w, lo, hi int) {})
+	calls1, _, chunks1 := Totals()
+	if calls1 <= calls0 || chunks1 < chunks0+10 {
+		t.Fatalf("totals did not advance: %d->%d calls, %d->%d chunks", calls0, calls1, chunks0, chunks1)
+	}
+}

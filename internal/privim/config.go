@@ -93,6 +93,15 @@ type Config struct {
 	// equilibrium weight scale near 0.5), 0 for non-private.
 	WeightDecay float64
 
+	// Workers caps the worker pool used by this run's parallel paths:
+	// the per-sample gradient fan-out of Algorithm 2 and the tree
+	// reduction feeding the noise accumulator. 0 means the process-wide
+	// default (-workers flag, PRIVIM_WORKERS, then GOMAXPROCS); the
+	// serving daemon sets it per training job so concurrent jobs do not
+	// oversubscribe the machine. Results are bit-for-bit independent of
+	// the value — only wall-clock changes.
+	Workers int
+
 	// Observer receives live pipeline events (spans over Modules 1–3,
 	// per-iteration loss/clip/ε telemetry, extraction histograms); see
 	// internal/obs for the taxonomy and sinks. nil (the default) disables
@@ -187,6 +196,9 @@ func (c Config) normalize(numNodes int) (Config, error) {
 	}
 	if c.WeightDecay == 0 && c.privatized() {
 		c.WeightDecay = 2
+	}
+	if c.Workers < 0 {
+		c.Workers = 0
 	}
 	switch c.Objective {
 	case "":

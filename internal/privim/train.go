@@ -5,8 +5,6 @@ import (
 	"io"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 	"time"
 
 	"privim/internal/autodiff"
@@ -17,6 +15,7 @@ import (
 	"privim/internal/im"
 	"privim/internal/nn"
 	"privim/internal/obs"
+	"privim/internal/parallel"
 	"privim/internal/sampling"
 	"privim/internal/tensor"
 )
@@ -102,6 +101,9 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 	if batch > container.Len() {
 		batch = container.Len()
 	}
+	if batch < 1 {
+		batch = 1
+	}
 	var sigma, noiseScale float64
 	var accountant dp.Accountant
 	if cfg.privatized() {
@@ -145,13 +147,15 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 
 	opt := nn.NewAdam(model.Params, cfg.LearnRate)
 	sum := nn.NewGrads(model.Params)
-	// Per-sample gradients are independent; compute them on a worker pool
-	// and reduce in index order so runs stay deterministic.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > batchForWorkers(cfg.BatchSize, container.Len()) {
-		workers = batchForWorkers(cfg.BatchSize, container.Len())
+	// Per-sample gradients are independent; fan them out on the shared
+	// worker pool and reduce with a fixed-shape tree so the accumulated
+	// (clipped) gradient — and therefore every noisy update — is
+	// bit-for-bit identical at any worker count.
+	workers := parallel.Resolve(cfg.Workers)
+	if workers > batch {
+		workers = batch
 	}
-	batchGrads := make([]*nn.Grads, batchForWorkers(cfg.BatchSize, container.Len()))
+	batchGrads := make([]*nn.Grads, batch)
 	for i := range batchGrads {
 		batchGrads[i] = nn.NewGrads(model.Params)
 	}
@@ -169,50 +173,52 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 	lossCfg := gnn.LossConfig{Steps: cfg.LossSteps, Lambda: cfg.Lambda}
 	res.LossHistory = make([]float64, 0, cfg.Iterations)
 	res.NoisyLossHistory = make([]float64, 0, cfg.Iterations)
-	batchLosses := make([]float64, batchForWorkers(cfg.BatchSize, container.Len()))
-	batchNorms := make([]float64, len(batchLosses))
+	batchLosses := make([]float64, batch)
+	batchNorms := make([]float64, batch)
+	var poolStats parallel.Stats
 	for t := 0; t < cfg.Iterations; t++ {
-		sum.Zero()
 		// Draw the whole batch first so rng consumption is independent of
 		// scheduling, then fan the per-sample passes out to the pool.
 		picks := make([]int, batch)
 		for b := range picks {
 			picks[b] = rng.Intn(container.Len())
 		}
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for b := w; b < batch; b += workers {
-					idx := picks[b]
-					s := container.Subgraphs[idx]
-					tp := autodiff.NewTape()
-					boundParams := nn.Bind(tp, model.Params)
-					scores := model.Forward(tp, boundParams, s.G, features[idx])
-					var loss *autodiff.Node
-					if cfg.Objective == ObjectiveMaxCover {
-						loss = gnn.MaxCoverLoss(tp, s.G, scores, cfg.CoverBudget, 1)
-					} else {
-						loss = gnn.IMLoss(tp, s.G, scores, lossCfg)
-					}
-					tp.Backward(loss)
-					batchLosses[b] = loss.Value.Data[0] / float64(s.G.NumNodes())
-					nn.Collect(boundParams, batchGrads[b])
-					switch {
-					case cfg.privatized():
-						// ClipL2 reports the pre-clip norm for free.
-						batchNorms[b] = batchGrads[b].ClipL2(cfg.ClipBound)
-					case o != nil:
-						batchNorms[b] = batchGrads[b].Norm2()
-					}
+		st := parallel.For(workers, batch, 1, func(_, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				idx := picks[b]
+				s := container.Subgraphs[idx]
+				tp := autodiff.NewTape()
+				boundParams := nn.Bind(tp, model.Params)
+				scores := model.Forward(tp, boundParams, s.G, features[idx])
+				var loss *autodiff.Node
+				if cfg.Objective == ObjectiveMaxCover {
+					loss = gnn.MaxCoverLoss(tp, s.G, scores, cfg.CoverBudget, 1)
+				} else {
+					loss = gnn.IMLoss(tp, s.G, scores, lossCfg)
 				}
-			}(w)
-		}
-		wg.Wait()
+				tp.Backward(loss)
+				batchLosses[b] = loss.Value.Data[0] / float64(s.G.NumNodes())
+				nn.Collect(boundParams, batchGrads[b])
+				switch {
+				case cfg.privatized():
+					// ClipL2 reports the pre-clip norm for free.
+					batchNorms[b] = batchGrads[b].ClipL2(cfg.ClipBound)
+				case o != nil:
+					batchNorms[b] = batchGrads[b].Norm2()
+				}
+			}
+		})
+		poolStats.Workers = st.Workers
+		poolStats.Chunks += st.Chunks
+		poolStats.MaxChunks += st.MaxChunks
+		poolStats.MinChunks += st.MinChunks
+		// Deterministic tree reduction of the clipped per-sample gradients
+		// into the noise accumulator: the tree shape depends only on the
+		// batch size, so the float result is worker-count independent.
+		nn.SumTree(batchGrads[:batch], workers)
+		sum.CopyFrom(batchGrads[0])
 		meanLoss := 0.0
 		for b := 0; b < batch; b++ {
-			sum.Add(1, batchGrads[b])
 			meanLoss += batchLosses[b]
 		}
 		meanLoss /= float64(batch)
@@ -265,6 +271,16 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 	if cfg.Iterations > 0 {
 		res.PerEpoch = time.Since(trainStart) / time.Duration(cfg.Iterations)
 	}
+	if o != nil && cfg.Iterations > 0 {
+		obs.Emit(o, obs.ParallelFor{
+			Site:      "train.dpsgd",
+			Workers:   poolStats.Workers,
+			Tasks:     batch * cfg.Iterations,
+			Chunks:    poolStats.Chunks,
+			Imbalance: poolStats.Imbalance(),
+			Elapsed:   time.Since(trainStart),
+		})
+	}
 	m3.End()
 	root.End()
 	return res, nil
@@ -276,45 +292,27 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 // scratch must have capacity for len(picks) entries and is clobbered.
 func batchMeanLoss(model *gnn.Model, container *sampling.Container, features []*tensor.Matrix,
 	picks []int, cfg Config, lossCfg gnn.LossConfig, workers int, scratch []float64) float64 {
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for b := w; b < len(picks); b += workers {
-				idx := picks[b]
-				s := container.Subgraphs[idx]
-				tp := autodiff.NewTape()
-				boundParams := nn.Bind(tp, model.Params)
-				scores := model.Forward(tp, boundParams, s.G, features[idx])
-				var loss *autodiff.Node
-				if cfg.Objective == ObjectiveMaxCover {
-					loss = gnn.MaxCoverLoss(tp, s.G, scores, cfg.CoverBudget, 1)
-				} else {
-					loss = gnn.IMLoss(tp, s.G, scores, lossCfg)
-				}
-				scratch[b] = loss.Value.Data[0] / float64(s.G.NumNodes())
+	parallel.For(workers, len(picks), 1, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			idx := picks[b]
+			s := container.Subgraphs[idx]
+			tp := autodiff.NewTape()
+			boundParams := nn.Bind(tp, model.Params)
+			scores := model.Forward(tp, boundParams, s.G, features[idx])
+			var loss *autodiff.Node
+			if cfg.Objective == ObjectiveMaxCover {
+				loss = gnn.MaxCoverLoss(tp, s.G, scores, cfg.CoverBudget, 1)
+			} else {
+				loss = gnn.IMLoss(tp, s.G, scores, lossCfg)
 			}
-		}(w)
-	}
-	wg.Wait()
+			scratch[b] = loss.Value.Data[0] / float64(s.G.NumNodes())
+		}
+	})
 	mean := 0.0
 	for b := 0; b < len(picks); b++ {
 		mean += scratch[b]
 	}
 	return mean / float64(len(picks))
-}
-
-// batchForWorkers returns the effective batch size (clamped to the
-// container) used to size the parallel gradient buffers.
-func batchForWorkers(batch, containerLen int) int {
-	if batch > containerLen {
-		return containerLen
-	}
-	if batch < 1 {
-		return 1
-	}
-	return batch
 }
 
 // addSML adds symmetric multivariate Laplace noise of scale s to every

@@ -13,6 +13,7 @@ import (
 	"privim/internal/gnn"
 	"privim/internal/graph"
 	"privim/internal/obs"
+	"privim/internal/parallel"
 	core "privim/internal/privim"
 )
 
@@ -102,18 +103,31 @@ type jobManager struct {
 	models     *modelRegistry
 	metrics    *obs.Registry
 	logf       func(string, ...any)
+
+	// perJobWorkers is the compute-pool width each training job runs at:
+	// the process-wide limit divided across the concurrent job slots, so a
+	// full pool does not oversubscribe the machine. Training results are
+	// bit-for-bit independent of the width.
+	perJobWorkers int
 }
 
 func newJobManager(workers, queueCap int, journalDir string, observer obs.Observer,
 	models *modelRegistry, metrics *obs.Registry, logf func(string, ...any)) *jobManager {
+	perJob := 1
+	if workers > 0 {
+		if perJob = parallel.Limit() / workers; perJob < 1 {
+			perJob = 1
+		}
+	}
 	m := &jobManager{
-		jobs:       make(map[string]*job),
-		queue:      make(chan *job, queueCap),
-		journalDir: journalDir,
-		observer:   observer,
-		models:     models,
-		metrics:    metrics,
-		logf:       logf,
+		jobs:          make(map[string]*job),
+		queue:         make(chan *job, queueCap),
+		journalDir:    journalDir,
+		observer:      observer,
+		models:        models,
+		metrics:       metrics,
+		logf:          logf,
+		perJobWorkers: perJob,
 	}
 	m.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -264,6 +278,7 @@ func (m *jobManager) run(j *job) {
 		Layers:       req.Layers,
 		BatchSize:    req.BatchSize,
 		Seed:         req.Seed,
+		Workers:      m.perJobWorkers,
 		Observer:     observer,
 	}
 	if req.GNN != "" {

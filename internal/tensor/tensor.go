@@ -1,15 +1,20 @@
 // Package tensor implements the dense linear-algebra substrate for the
 // neural-network stack: row-major float64 matrices with the operations
 // needed by GNN forward/backward passes (GEMM, transpose, row gather,
-// reductions, stable softmax). It is deliberately small — correctness and
-// clarity over BLAS-level tuning — but GEMM is written cache-friendly
-// (ikj loop order) since it dominates training time.
+// reductions, stable softmax). GEMM is cache-blocked with a
+// register-tiled inner kernel and fans row panels out across the shared
+// worker pool (internal/parallel) above a crossover size; because panels
+// partition output rows and each row's accumulation order is fixed by
+// the kernel, the parallel product is bit-for-bit equal to the serial
+// one at any worker count.
 package tensor
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"privim/internal/parallel"
 )
 
 // Matrix is a dense row-major matrix. The zero value is an empty matrix.
@@ -83,26 +88,122 @@ func MatMul(a, b *Matrix) *Matrix {
 	return out
 }
 
+// GEMM tuning. gemmKC is the k-dimension cache block (a kc×Cols panel of
+// b stays resident in L1/L2 while row pairs stream over it).
+// gemmPanelRows is the row granularity of one parallel task, and
+// gemmParallelFlops is the crossover below which the fan-out overhead
+// outweighs the work and MatMulInto stays serial (the per-sample GNN
+// matrices of DP-SGD — tens of rows, 32 columns — all sit below it, so
+// training's sample-level parallelism never nests a second fan-out).
+const (
+	gemmKC            = 128
+	gemmPanelRows     = 32
+	gemmParallelFlops = 1 << 18
+)
+
 // MatMulInto computes out = a×b, or out += a×b when accumulate is true.
 // out must be preallocated with shape a.Rows × b.Cols and must not alias a
-// or b.
+// or b. Large products are computed in parallel row panels; the result is
+// bit-for-bit identical to the serial kernel at any worker count.
 func MatMulInto(out, a, b *Matrix, accumulate bool) {
+	matMulWorkers(out, a, b, accumulate, 0)
+}
+
+// matMulWorkers is MatMulInto with an explicit worker cap (0 = the
+// process-wide default); the equivalence tests pin serial vs parallel
+// through it.
+func matMulWorkers(out, a, b *Matrix, accumulate bool, workers int) {
 	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
 		panic("tensor: MatMulInto shape mismatch")
 	}
 	if !accumulate {
 		out.Zero()
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
+	if a.Rows == 0 || a.Cols == 0 || b.Cols == 0 {
+		return
+	}
+	flops := a.Rows * a.Cols * b.Cols
+	if workers <= 0 {
+		workers = parallel.Resolve(0)
+	}
+	if workers == 1 || flops < gemmParallelFlops || a.Rows < 2*gemmPanelRows {
+		gemmRows(out, a, b, 0, a.Rows)
+		return
+	}
+	panels := (a.Rows + gemmPanelRows - 1) / gemmPanelRows
+	parallel.For(workers, panels, 1, func(_, lo, hi int) {
+		r0 := lo * gemmPanelRows
+		r1 := hi * gemmPanelRows
+		if r1 > a.Rows {
+			r1 = a.Rows
+		}
+		gemmRows(out, a, b, r0, r1)
+	})
+}
+
+// gemmRows accumulates rows [lo, hi) of out += a×b with a cache-blocked,
+// register-tiled kernel: k is blocked so a panel of b stays hot, rows are
+// processed in pairs sharing each loaded b row, and the inner j loop is
+// unrolled 4-wide. Per output element the accumulation order is k
+// ascending — independent of blocking, pairing, and the caller's row
+// partition — which is what makes the parallel path bit-exact.
+func gemmRows(out, a, b *Matrix, lo, hi int) {
+	n, cols := a.Cols, b.Cols
+	for k0 := 0; k0 < n; k0 += gemmKC {
+		k1 := k0 + gemmKC
+		if k1 > n {
+			k1 = n
+		}
+		i := lo
+		for ; i+1 < hi; i += 2 {
+			arow0 := a.Data[i*n : (i+1)*n]
+			arow1 := a.Data[(i+1)*n : (i+2)*n]
+			orow0 := out.Data[i*cols : (i+1)*cols]
+			orow1 := out.Data[(i+1)*cols : (i+2)*cols]
+			for k := k0; k < k1; k++ {
+				av0, av1 := arow0[k], arow1[k]
+				if av0 == 0 && av1 == 0 {
+					continue
+				}
+				brow := b.Data[k*cols : (k+1)*cols]
+				j := 0
+				for ; j+4 <= cols; j += 4 {
+					b0, b1, b2, b3 := brow[j], brow[j+1], brow[j+2], brow[j+3]
+					orow0[j] += av0 * b0
+					orow0[j+1] += av0 * b1
+					orow0[j+2] += av0 * b2
+					orow0[j+3] += av0 * b3
+					orow1[j] += av1 * b0
+					orow1[j+1] += av1 * b1
+					orow1[j+2] += av1 * b2
+					orow1[j+3] += av1 * b3
+				}
+				for ; j < cols; j++ {
+					bv := brow[j]
+					orow0[j] += av0 * bv
+					orow1[j] += av1 * bv
+				}
 			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
+		}
+		for ; i < hi; i++ {
+			arow := a.Data[i*n : (i+1)*n]
+			orow := out.Data[i*cols : (i+1)*cols]
+			for k := k0; k < k1; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*cols : (k+1)*cols]
+				j := 0
+				for ; j+4 <= cols; j += 4 {
+					orow[j] += av * brow[j]
+					orow[j+1] += av * brow[j+1]
+					orow[j+2] += av * brow[j+2]
+					orow[j+3] += av * brow[j+3]
+				}
+				for ; j < cols; j++ {
+					orow[j] += av * brow[j]
+				}
 			}
 		}
 	}
