@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race cover bench bench-all bench-smoke suite suite-paper examples fuzz serve-smoke clean
+.PHONY: all build test vet lint race cover bench bench-all bench-smoke suite suite-paper examples fuzz serve-smoke crash-smoke clean
 
 all: build vet test
 
@@ -61,6 +61,13 @@ examples:
 
 fuzz:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=60s -run FuzzReadEdgeList ./internal/graph/
+
+# Durability suite under the race detector: atomic checkpoint files,
+# kill-mid-train resume equivalence, corrupt-checkpoint fallback, and
+# job-table replay/recovery in the serve layer.
+crash-smoke:
+	$(GO) test -race -run 'Checkpoint|Resume|Recover|Crash|Corrupt|Truncat|Replay|Interrupted|Atomic' \
+		./internal/nn/ ./internal/privim/ ./internal/serve/
 
 # Boot privimd on a throwaway port, probe /healthz and /metrics, shut down.
 serve-smoke:

@@ -45,8 +45,10 @@ func main() {
 		loadPath  = flag.String("load", "", "skip training and score with this checkpoint")
 		workers   = cliutil.RegisterWorkers(flag.CommandLine)
 		obsFlags  cliutil.ObserverFlags
+		ckptFlags cliutil.CheckpointFlags
 	)
 	obsFlags.Register(flag.CommandLine)
+	ckptFlags.Register(flag.CommandLine)
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
 
@@ -74,6 +76,11 @@ func main() {
 		LossSteps:    *steps,
 		Seed:         *seed,
 		Observer:     observer,
+
+		// Crash safety: with -checkpoint-dir, an interrupted run picks up
+		// from its last checkpoint and finishes bit-for-bit identically.
+		CheckpointDir:   ckptFlags.Dir,
+		CheckpointEvery: ckptFlags.Every,
 	}
 	if *gnnKind != "" {
 		cfg.GNNKind = gnn.Kind(*gnnKind)

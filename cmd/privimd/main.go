@@ -46,7 +46,8 @@ func main() {
 		addr          = flag.String("addr", ":7315", "HTTP listen address")
 		modelsDir     = flag.String("models", "", "preload every checkpoint file in this directory")
 		graphsDir     = flag.String("graphs", "", "preload every edge-list file in this directory")
-		journalDir    = flag.String("journal-dir", "", "write per-training-job JSONL event journals into this directory")
+		journalDir    = flag.String("journal-dir", "", "durable state directory: per-job JSONL event journals, the crash-recovery job table (jobs.jsonl), and per-job training checkpoints")
+		ckptEvery     = flag.Int("checkpoint-every", 10, "training-checkpoint cadence in iterations for jobs run under -journal-dir")
 		maxConcurrent = flag.Int("max-concurrent", 8, "admission limit: max in-flight /v1 requests before 429")
 		queryTimeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout for query endpoints")
 		maxBody       = flag.Int64("max-body", 64<<20, "request body size limit in bytes")
@@ -80,17 +81,18 @@ func main() {
 		}
 	}
 	srv, err := serve.New(serve.Options{
-		ModelsDir:     *modelsDir,
-		JournalDir:    *journalDir,
-		MaxConcurrent: *maxConcurrent,
-		QueryTimeout:  *queryTimeout,
-		MaxBodyBytes:  *maxBody,
-		TrainWorkers:  *trainWorkers,
-		TrainQueue:    *trainQueue,
-		CacheSize:     *cacheSize,
-		Registry:      reg,
-		Observer:      stack.Observer,
-		Logf:          logger.Printf,
+		ModelsDir:       *modelsDir,
+		JournalDir:      *journalDir,
+		CheckpointEvery: *ckptEvery,
+		MaxConcurrent:   *maxConcurrent,
+		QueryTimeout:    *queryTimeout,
+		MaxBodyBytes:    *maxBody,
+		TrainWorkers:    *trainWorkers,
+		TrainQueue:      *trainQueue,
+		CacheSize:       *cacheSize,
+		Registry:        reg,
+		Observer:        stack.Observer,
+		Logf:            logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -98,6 +100,15 @@ func main() {
 	if *graphsDir != "" {
 		if err := preloadGraphs(srv, *graphsDir, logger); err != nil {
 			logger.Fatal(err)
+		}
+	}
+	if *journalDir != "" {
+		// Replay the persisted job table after graphs are loaded: queued
+		// jobs requeue, interrupted jobs resume from their last checkpoint,
+		// unrecoverable ones are marked failed.
+		requeued, failed := srv.RecoverJobs()
+		if requeued+failed > 0 {
+			logger.Printf("job recovery: %d requeued, %d unrecoverable", requeued, failed)
 		}
 	}
 

@@ -34,6 +34,25 @@ func ApplyWorkers(n int) {
 	}
 }
 
+// CheckpointFlags is the shared crash-safety flag pair: a checkpoint
+// directory and a save cadence. A binary registers them, then copies the
+// parsed values into privim.Config.CheckpointDir / CheckpointEvery (or
+// serve.Options.CheckpointEvery for the daemon, whose per-job directories
+// live under its journal dir).
+type CheckpointFlags struct {
+	Dir   string
+	Every int
+}
+
+// Register installs -checkpoint-dir and -checkpoint-every on fs with the
+// shared help text.
+func (f *CheckpointFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Dir, "checkpoint-dir", "",
+		"write crash-safe training checkpoints into this directory and auto-resume from the newest valid one (resumed runs are bit-for-bit identical to uninterrupted ones)")
+	fs.IntVar(&f.Every, "checkpoint-every", 0,
+		"checkpoint cadence in training iterations (default 10; only with -checkpoint-dir)")
+}
+
 // ObserverFlags is the observability flag pair every binary exposes.
 // Register installs the flags on a FlagSet; Setup builds the stack the
 // parsed values request.

@@ -21,6 +21,15 @@ const (
 // The hash covers structure and weights but not adjacency-slice capacity
 // or construction history beyond arc order; it is not cryptographic and
 // must not be used for integrity against an adversary.
+//
+// Endpoint IDs are folded through uint32 before hashing, so the stream
+// assumes node IDs below 2³² — two IDs that differ only above bit 31
+// would collide. That is far beyond the node counts this repo handles
+// (NodeID is an int64 only for arithmetic convenience); revisit the
+// folding before supporting larger graphs. Weights hash by exact IEEE
+// bit pattern (Float64bits), so +0 and -0 fingerprint differently —
+// deliberate, since the canonical edge-list text form also preserves the
+// sign.
 func (g *Graph) Fingerprint() uint64 {
 	h := uint64(fnvOffset64)
 	if g.directed {

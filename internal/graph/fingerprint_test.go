@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"math"
 	"testing"
 )
 
@@ -61,6 +62,63 @@ func TestFingerprintSensitivity(t *testing.T) {
 	// Empty graphs still distinguish directedness.
 	if New(true).Fingerprint() == New(false).Fingerprint() {
 		t.Fatal("empty directed and undirected graphs collide")
+	}
+}
+
+// TestFingerprintNodeIDFolding pins the uint64(uint32(u)) fold in the
+// hash stream: IDs in the supported range (< 2³²) pass through intact,
+// and the test documents that IDs differing only above bit 31 WOULD
+// collide — the assumption called out in the Fingerprint doc comment.
+func TestFingerprintNodeIDFolding(t *testing.T) {
+	for _, u := range []uint64{0, 1, 12345, 1<<31 - 1, 1<<32 - 1} {
+		if uint64(uint32(u)) != u {
+			t.Fatalf("ID %d inside the supported range was mangled by the fold", u)
+		}
+		if got, want := fnvMix(fnvOffset64, uint64(uint32(u))), fnvMix(fnvOffset64, u); got != want {
+			t.Fatalf("fold changed the hash of in-range ID %d", u)
+		}
+	}
+	// Above the fold the stream collides: 2³²+7 hashes like 7. This is
+	// the documented limitation, not desired behavior — if this ever
+	// starts failing, the folding was widened and the doc comment (and
+	// this test) should be updated together.
+	overflow := uint64(1<<32 + 7)
+	if fnvMix(fnvOffset64, uint64(uint32(overflow))) != fnvMix(fnvOffset64, 7) {
+		t.Fatal("expected the documented fold collision for IDs >= 2^32")
+	}
+}
+
+// TestFingerprintSignedZeroWeights: weights hash by IEEE bit pattern, so
+// +0 and -0 are distinct — Float64bits, not ==, decides equality.
+func TestFingerprintSignedZeroWeights(t *testing.T) {
+	pos := NewWithNodes(2, true)
+	pos.AddEdge(0, 1, 0)
+	neg := NewWithNodes(2, true)
+	neg.AddEdge(0, 1, math.Copysign(0, -1))
+	if pos.Fingerprint() == neg.Fingerprint() {
+		t.Fatal("+0 and -0 edge weights fingerprint identically")
+	}
+	// Sanity: both still differ from a nonzero weight.
+	nz := NewWithNodes(2, true)
+	nz.AddEdge(0, 1, 0.5)
+	if pos.Fingerprint() == nz.Fingerprint() || neg.Fingerprint() == nz.Fingerprint() {
+		t.Fatal("zero and nonzero weights collide")
+	}
+}
+
+// TestFingerprintGolden pins the exact hash of a fixed graph so any
+// accidental change to the canonical stream (field order, widths,
+// folding) fails loudly — checkpoint compatibility and the serving
+// layer's content addresses both ride on this value being stable.
+func TestFingerprintGolden(t *testing.T) {
+	g := NewWithNodes(5, true)
+	g.AddEdge(0, 1, 0.5)
+	g.AddEdge(1, 2, 0.25)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(4, 0, 0.125)
+	const want = uint64(0x2f417cd2d90864a2)
+	if got := g.Fingerprint(); got != want {
+		t.Fatalf("golden fingerprint changed: got %#016x, want %#016x", got, want)
 	}
 }
 

@@ -94,6 +94,14 @@ func DecodeRecord(line []byte) (Event, time.Time, error) {
 		ev = &SeedSelected{}
 	case ExtractionDone{}.EventKind():
 		ev = &ExtractionDone{}
+	case ParallelFor{}.EventKind():
+		ev = &ParallelFor{}
+	case CheckpointSaved{}.EventKind():
+		ev = &CheckpointSaved{}
+	case CheckpointResumed{}.EventKind():
+		ev = &CheckpointResumed{}
+	case CheckpointRejected{}.EventKind():
+		ev = &CheckpointRejected{}
 	default:
 		return nil, ts, fmt.Errorf("obs: unknown event kind %q", rec.Kind)
 	}

@@ -52,13 +52,33 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Gauge is an atomically settable float64 sample.
+// Gauge is an atomically settable float64 sample. Unlike Counter it may
+// move in both directions: level-style metrics (in-flight jobs, queue
+// depth, live ε) belong here, so monotonic counters stay monotonic.
 type Gauge struct {
 	bits atomic.Uint64
 }
 
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by d (negative d moves it down), atomically with
+// respect to concurrent Add/Inc/Dec/Set.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc moves the gauge up by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec moves the gauge down by one.
+func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the last stored value (0 before any Set).
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

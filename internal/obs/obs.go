@@ -211,3 +211,52 @@ type ParallelFor struct {
 
 // EventKind implements Event.
 func (ParallelFor) EventKind() string { return "parallel_for" }
+
+// CheckpointSaved reports one durable training checkpoint written by the
+// crash-safe training loop (internal/privim with Config.CheckpointEvery
+// set): the state needed to resume bit-for-bit — parameters, optimizer
+// moments, RNG stream position, privacy-accounting position — landed on
+// disk atomically.
+type CheckpointSaved struct {
+	// Iter is the number of completed iterations the checkpoint captures.
+	Iter int `json:"iter"`
+	// Path is the checkpoint file written.
+	Path string `json:"path"`
+	// Bytes is the checkpoint payload size.
+	Bytes int64 `json:"bytes"`
+	// Elapsed is the wall-clock encode+fsync+rename time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// EventKind implements Event.
+func (CheckpointSaved) EventKind() string { return "checkpoint_saved" }
+
+// CheckpointResumed reports a training run continuing from a checkpoint
+// instead of iteration 0. The resumed run is bit-for-bit identical to an
+// uninterrupted one (same model, seed set, ε spent).
+type CheckpointResumed struct {
+	// Iter is the iteration training resumes from (completed iterations).
+	Iter int `json:"iter"`
+	// Path is the checkpoint file the state was restored from.
+	Path string `json:"path"`
+	// RNGDraws is the restored RNG stream position (raw source draws
+	// consumed since seeding).
+	RNGDraws uint64 `json:"rng_draws"`
+}
+
+// EventKind implements Event.
+func (CheckpointResumed) EventKind() string { return "checkpoint_resumed" }
+
+// CheckpointRejected reports a checkpoint file that failed verification
+// (truncation, checksum mismatch, config/graph fingerprint mismatch) and
+// was skipped; the loader falls back to the previous good checkpoint, or
+// to a fresh start when none survives.
+type CheckpointRejected struct {
+	// Path is the rejected file.
+	Path string `json:"path"`
+	// Reason is the verification failure.
+	Reason string `json:"reason"`
+}
+
+// EventKind implements Event.
+func (CheckpointRejected) EventKind() string { return "checkpoint_rejected" }

@@ -159,6 +159,10 @@ func TestJSONLRoundTrip(t *testing.T) {
 		MCBatchDone{Model: "ic", Rounds: 100, MeanSpread: 7.5, Elapsed: time.Second, SimsPerSec: 100},
 		SeedSelected{K: 2, Node: 17, MarginalGain: 3.5, Evaluations: 40, LookupsSaved: 360},
 		ExtractionDone{Stage: "scs", Subgraphs: 12, Walks: 30, MaxOccurrence: 4},
+		ParallelFor{Site: "train.dpsgd", Workers: 4, Tasks: 64, Chunks: 16, Imbalance: 0.25, Elapsed: time.Millisecond},
+		CheckpointSaved{Iter: 10, Path: "ckpt-00000010.ckpt", Bytes: 4096, Elapsed: 3 * time.Millisecond},
+		CheckpointResumed{Iter: 10, Path: "ckpt-00000010.ckpt", RNGDraws: 12345},
+		CheckpointRejected{Path: "ckpt-00000012.ckpt", Reason: "truncated"},
 		SpanEnd{ID: 1, Span: "train", Elapsed: time.Second},
 	}
 	var buf bytes.Buffer
@@ -336,5 +340,58 @@ func TestRegistryPublish(t *testing.T) {
 	}
 	if err := r.Publish("obs_test_registry"); err == nil {
 		t.Fatal("duplicate Publish should error, not panic")
+	}
+}
+
+func TestGaugeAddIncDec(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Add(2.5)
+	g.Dec()
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+
+	// Concurrent up/down movements must balance exactly (integer deltas
+	// stay exact in float64).
+	var c Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				c.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("balanced inc/dec gauge = %v, want 0", got)
+	}
+}
+
+func TestRegistryCheckpointEvents(t *testing.T) {
+	r := NewRegistry()
+	r.Emit(CheckpointSaved{Iter: 4, Path: "a", Bytes: 128, Elapsed: time.Millisecond})
+	r.Emit(CheckpointSaved{Iter: 8, Path: "b", Bytes: 128, Elapsed: time.Millisecond})
+	r.Emit(CheckpointRejected{Path: "b", Reason: "truncated"})
+	r.Emit(CheckpointResumed{Iter: 4, Path: "a", RNGDraws: 99})
+	if got := r.Counter("train.checkpoint.saved").Value(); got != 2 {
+		t.Fatalf("saved counter = %d, want 2", got)
+	}
+	if got := r.Counter("train.checkpoint.rejected").Value(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+	if got := r.Counter("train.checkpoint.resumed").Value(); got != 1 {
+		t.Fatalf("resumed counter = %d, want 1", got)
+	}
+	if got := r.Gauge("train.checkpoint.iter").Value(); got != 4 {
+		t.Fatalf("checkpoint iter gauge = %v, want 4 (resume overwrote)", got)
+	}
+	if got := r.Histogram("train.checkpoint.bytes").Count(); got != 2 {
+		t.Fatalf("bytes histogram count = %d, want 2", got)
 	}
 }

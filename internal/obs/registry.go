@@ -100,6 +100,16 @@ func (r *Registry) Emit(e Event) {
 		r.Gauge("parallel." + ev.Site + ".workers").Set(float64(ev.Workers))
 		r.Gauge("parallel." + ev.Site + ".imbalance").Set(ev.Imbalance)
 		r.Histogram("parallel." + ev.Site + ".us").Observe(float64(ev.Elapsed) / float64(time.Microsecond))
+	case CheckpointSaved:
+		r.Counter("train.checkpoint.saved").Inc()
+		r.Gauge("train.checkpoint.iter").Set(float64(ev.Iter))
+		r.Histogram("train.checkpoint.bytes").Observe(float64(ev.Bytes))
+		r.Histogram("train.checkpoint.save_us").Observe(float64(ev.Elapsed) / float64(time.Microsecond))
+	case CheckpointResumed:
+		r.Counter("train.checkpoint.resumed").Inc()
+		r.Gauge("train.checkpoint.iter").Set(float64(ev.Iter))
+	case CheckpointRejected:
+		r.Counter("train.checkpoint.rejected").Inc()
 	case ExtractionDone:
 		r.Counter("sampling.extractions").Inc()
 		r.Counter("sampling.subgraphs").Add(int64(ev.Subgraphs))

@@ -1,0 +1,363 @@
+package privim
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"privim/internal/graph"
+	"privim/internal/obs"
+)
+
+// TestCountingSourceMatchesPlainSource pins the wrapper contract: the
+// stream is identical to an unwrapped rand.NewSource, every draw is
+// counted, and Skip(n) lands on exactly the state n draws would have.
+func TestCountingSourceMatchesPlainSource(t *testing.T) {
+	plain := rand.New(rand.NewSource(42))
+	src := newCountingSource(42)
+	counted := rand.New(src)
+	for i := 0; i < 200; i++ {
+		switch i % 3 {
+		case 0:
+			if a, b := plain.Intn(1000), counted.Intn(1000); a != b {
+				t.Fatalf("draw %d: Intn diverged: %d vs %d", i, a, b)
+			}
+		case 1:
+			if a, b := plain.NormFloat64(), counted.NormFloat64(); a != b {
+				t.Fatalf("draw %d: NormFloat64 diverged: %v vs %v", i, a, b)
+			}
+		default:
+			if a, b := plain.Float64(), counted.Float64(); a != b {
+				t.Fatalf("draw %d: Float64 diverged: %v vs %v", i, a, b)
+			}
+		}
+	}
+	if src.Draws() == 0 {
+		t.Fatal("no draws counted")
+	}
+
+	// Skip(n) ≡ drawing n values and discarding them.
+	a := newCountingSource(7)
+	b := newCountingSource(7)
+	ra := rand.New(a)
+	for i := 0; i < 57; i++ {
+		ra.Int63()
+	}
+	b.Skip(a.Draws())
+	if a.Draws() != b.Draws() {
+		t.Fatalf("draw counts diverged: %d vs %d", a.Draws(), b.Draws())
+	}
+	rb := rand.New(b)
+	for i := 0; i < 20; i++ {
+		if x, y := ra.Int63(), rb.Int63(); x != y {
+			t.Fatalf("post-skip draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// crashPanic is the sentinel a simulated crash unwinds with.
+type crashPanic struct{ iter int }
+
+// crashObserver panics out of Train when iteration `at` completes — an
+// in-process stand-in for kill -9 mid-train: the iterations already
+// checkpointed are on disk, everything after is lost.
+func crashObserver(at int) obs.Observer {
+	return obs.ObserverFunc(func(e obs.Event) {
+		if ie, ok := e.(obs.IterationEnd); ok && ie.Iter == at {
+			panic(crashPanic{iter: at})
+		}
+	})
+}
+
+// trainExpectCrash runs Train and requires it to die at the simulated
+// crash point.
+func trainExpectCrash(t *testing.T, g *graph.Graph, cfg Config) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("training survived the injected crash")
+		}
+		if _, ok := r.(crashPanic); !ok {
+			panic(r) // a real failure, not our sentinel
+		}
+	}()
+	_, err := Train(g, cfg)
+	t.Fatalf("Train returned (%v) instead of crashing", err)
+}
+
+// eventTrap records every event, concurrency-safe.
+type eventTrap struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (tr *eventTrap) Emit(e obs.Event) {
+	tr.mu.Lock()
+	tr.events = append(tr.events, e)
+	tr.mu.Unlock()
+}
+
+func (tr *eventTrap) count(kind string) int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := 0
+	for _, e := range tr.events {
+		if e.EventKind() == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func paramBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := res.Model.Params.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func floatsEqualBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// requireSameRun asserts the resumed result is bit-for-bit the baseline:
+// parameters, privacy spend, histories, and the seed set they induce.
+func requireSameRun(t *testing.T, g *graph.Graph, want, got *Result) {
+	t.Helper()
+	if !bytes.Equal(paramBytes(t, want), paramBytes(t, got)) {
+		t.Fatal("final parameters differ from uninterrupted run")
+	}
+	if math.Float64bits(want.EpsilonSpent) != math.Float64bits(got.EpsilonSpent) {
+		t.Fatalf("EpsilonSpent differs: %v vs %v", want.EpsilonSpent, got.EpsilonSpent)
+	}
+	if !floatsEqualBits(want.LossHistory, got.LossHistory) {
+		t.Fatalf("LossHistory differs:\nwant %v\ngot  %v", want.LossHistory, got.LossHistory)
+	}
+	if !floatsEqualBits(want.NoisyLossHistory, got.NoisyLossHistory) {
+		t.Fatalf("NoisyLossHistory differs:\nwant %v\ngot  %v", want.NoisyLossHistory, got.NoisyLossHistory)
+	}
+	ws, gs := want.SelectSeeds(g, 5), got.SelectSeeds(g, 5)
+	for i := range ws {
+		if ws[i] != gs[i] {
+			t.Fatalf("selected seeds differ: %v vs %v", ws, gs)
+		}
+	}
+}
+
+func checkpointFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "ckpt-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// TestTrainResumeBitForBit is the tentpole guarantee: a run killed
+// mid-train and resumed from its last checkpoint — at a different worker
+// count — produces the identical final model, seed set, ε spend, and
+// loss histories as a run that never stopped. Exercised across the
+// Gaussian (privim*), SML-noise (hp), and noiseless training paths.
+func TestTrainResumeBitForBit(t *testing.T) {
+	ds := quickDataset(t)
+	train := ds.TrainSubgraph().G
+	for _, mode := range []Mode{ModeDual, ModeHP, ModeNonPrivate} {
+		mode := mode
+		t.Run(string(mode), func(t *testing.T) {
+			base := quickConfig(mode)
+			base.Workers = 1
+			baseline, err := Train(train, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			crashed := base
+			crashed.Workers = 3
+			crashed.CheckpointDir = dir
+			crashed.CheckpointEvery = 2
+			crashed.Observer = crashObserver(3) // dies after iteration 3; last checkpoint is iter 2
+			trainExpectCrash(t, train, crashed)
+			if files := checkpointFiles(t, dir); len(files) == 0 {
+				t.Fatal("crash left no checkpoints behind")
+			}
+
+			trap := &eventTrap{}
+			resumed := crashed
+			resumed.Workers = 2
+			resumed.Observer = trap
+			got, err := Train(train, resumed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := trap.count("checkpoint_resumed"); n != 1 {
+				t.Fatalf("expected exactly one resume event, got %d", n)
+			}
+			if n := trap.count("iteration_end"); n != base.Iterations-2 {
+				t.Fatalf("resumed run re-ran %d iterations, want %d", n, base.Iterations-2)
+			}
+			requireSameRun(t, train, baseline, got)
+		})
+	}
+}
+
+// TestTrainResumeFallsBackPastCorruptCheckpoints: when the newest
+// checkpoint is truncated (torn write) and the next is bit-flipped, the
+// loader rejects both and resumes from the surviving older file — and
+// the run still matches the uninterrupted baseline exactly.
+func TestTrainResumeFallsBackPastCorruptCheckpoints(t *testing.T) {
+	ds := quickDataset(t)
+	train := ds.TrainSubgraph().G
+	base := quickConfig(ModeDual)
+	baseline, err := Train(train, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	crashed := base
+	crashed.CheckpointDir = dir
+	crashed.CheckpointEvery = 1
+	crashed.Observer = crashObserver(3) // checkpoints at 1, 2, 3
+	trainExpectCrash(t, train, crashed)
+	files := checkpointFiles(t, dir)
+	if len(files) != 3 {
+		t.Fatalf("expected 3 checkpoints, got %v", files)
+	}
+
+	// Torn write: newest file loses its tail.
+	info, err := os.Stat(files[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(files[2], info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	// Bit rot: second-newest gets one payload byte flipped.
+	blob, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/3] ^= 0x10
+	if err := os.WriteFile(files[1], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	trap := &eventTrap{}
+	resumed := crashed
+	resumed.Observer = trap
+	got, err := Train(train, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := trap.count("checkpoint_rejected"); n != 2 {
+		t.Fatalf("expected 2 rejected checkpoints, got %d", n)
+	}
+	if n := trap.count("checkpoint_resumed"); n != 1 {
+		t.Fatalf("expected a resume from the surviving checkpoint, got %d resumes", n)
+	}
+	requireSameRun(t, train, baseline, got)
+
+	// All checkpoints destroyed → fresh start, still the same run.
+	for _, f := range checkpointFiles(t, dir) {
+		if err := os.Truncate(f, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trap2 := &eventTrap{}
+	resumed.Observer = trap2
+	got2, err := Train(train, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := trap2.count("checkpoint_resumed"); n != 0 {
+		t.Fatal("resumed from a destroyed checkpoint")
+	}
+	requireSameRun(t, train, baseline, got2)
+}
+
+// TestTrainResumeRejectsForeignCheckpoints: a checkpoint directory left
+// over from a different run (different seed → different fingerprint)
+// must be ignored, not resumed into the wrong stream.
+func TestTrainResumeRejectsForeignCheckpoints(t *testing.T) {
+	ds := quickDataset(t)
+	train := ds.TrainSubgraph().G
+	dir := t.TempDir()
+
+	other := quickConfig(ModeDual)
+	other.Seed = 1234
+	other.CheckpointDir = dir
+	other.CheckpointEvery = 2
+	if _, err := Train(train, other); err != nil {
+		t.Fatal(err)
+	}
+	if len(checkpointFiles(t, dir)) == 0 {
+		t.Fatal("expected leftover checkpoints from the other run")
+	}
+
+	base := quickConfig(ModeDual)
+	baseline, err := Train(train, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trap := &eventTrap{}
+	cfg := base
+	cfg.CheckpointDir = dir
+	cfg.CheckpointEvery = 2
+	cfg.Observer = trap
+	got, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := trap.count("checkpoint_resumed"); n != 0 {
+		t.Fatal("resumed from a foreign run's checkpoint")
+	}
+	if trap.count("checkpoint_rejected") == 0 {
+		t.Fatal("foreign checkpoints were not reported as rejected")
+	}
+	requireSameRun(t, train, baseline, got)
+}
+
+// TestCheckpointRetention: a long enough run keeps only the most recent
+// checkpointKeep files.
+func TestCheckpointRetention(t *testing.T) {
+	ds := quickDataset(t)
+	train := ds.TrainSubgraph().G
+	dir := t.TempDir()
+	cfg := quickConfig(ModeDual)
+	cfg.Iterations = 8
+	cfg.CheckpointDir = dir
+	cfg.CheckpointEvery = 1
+	trap := &eventTrap{}
+	cfg.Observer = trap
+	if _, err := Train(train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if n := trap.count("checkpoint_saved"); n != 7 {
+		t.Fatalf("expected 7 saves (every iteration but the last), got %d", n)
+	}
+	files := checkpointFiles(t, dir)
+	if len(files) != checkpointKeep {
+		t.Fatalf("retention kept %d files (%v), want %d", len(files), files, checkpointKeep)
+	}
+	if filepath.Base(files[len(files)-1]) != "ckpt-00000007.ckpt" {
+		t.Fatalf("newest retained checkpoint is %s, want iter 7", files[len(files)-1])
+	}
+}

@@ -102,6 +102,23 @@ type Config struct {
 	// the value — only wall-clock changes.
 	Workers int
 
+	// CheckpointDir, when non-empty, makes Train crash-safe: every
+	// CheckpointEvery iterations the full training state — parameters,
+	// optimizer moments, RNG stream position, loss histories, and the
+	// accounting scalars — is written atomically (temp file + checksum +
+	// rename) into the directory, and on start Train resumes from the
+	// newest valid checkpoint found there. A resumed run is bit-for-bit
+	// identical to an uninterrupted one (same final model, seed set, and
+	// EpsilonSpent) at any worker count. Checkpoints are keyed to a
+	// config+graph fingerprint, so a directory holding state from a
+	// different run is safely ignored. Empty (the default) disables
+	// checkpointing entirely.
+	CheckpointDir string
+	// CheckpointEvery is the save cadence in iterations (default 10 when
+	// CheckpointDir is set; ignored otherwise). The final iteration never
+	// writes a checkpoint — a finished run has nothing to resume.
+	CheckpointEvery int
+
 	// Observer receives live pipeline events (spans over Modules 1–3,
 	// per-iteration loss/clip/ε telemetry, extraction histograms); see
 	// internal/obs for the taxonomy and sinks. nil (the default) disables
@@ -199,6 +216,12 @@ func (c Config) normalize(numNodes int) (Config, error) {
 	}
 	if c.Workers < 0 {
 		c.Workers = 0
+	}
+	if c.CheckpointEvery < 0 {
+		return c, fmt.Errorf("privim: checkpoint every %d must be >= 0", c.CheckpointEvery)
+	}
+	if c.CheckpointDir != "" && c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 10
 	}
 	switch c.Objective {
 	case "":

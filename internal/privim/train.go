@@ -68,7 +68,11 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The training RNG runs over a draw-counting source so the stream
+	// position can be checkpointed and replayed exactly (see checkpoint.go);
+	// the stream itself is identical to rand.NewSource(cfg.Seed).
+	src := newCountingSource(cfg.Seed)
+	rng := rand.New(src)
 	o := cfg.Observer
 	root := obs.StartSpan(o, "train")
 
@@ -173,10 +177,31 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 	lossCfg := gnn.LossConfig{Steps: cfg.LossSteps, Lambda: cfg.Lambda}
 	res.LossHistory = make([]float64, 0, cfg.Iterations)
 	res.NoisyLossHistory = make([]float64, 0, cfg.Iterations)
+
+	// Crash safety: with a checkpoint directory configured, restore the
+	// newest valid checkpoint (parameters, optimizer moments, histories)
+	// and fast-forward the RNG to its recorded position, then continue the
+	// loop from there — bit-for-bit identical to never having stopped.
+	startIter := 0
+	var ck *checkpointer
+	if cfg.CheckpointDir != "" {
+		ck, err = newCheckpointer(cfg, g, res.Sigma, res.EpsilonSpent, o)
+		if err != nil {
+			m3.End()
+			root.End()
+			return nil, err
+		}
+		if st := ck.resume(cfg, model.Params, opt, src); st != nil {
+			startIter = st.iter
+			res.LossHistory = append(res.LossHistory, st.loss...)
+			res.NoisyLossHistory = append(res.NoisyLossHistory, st.noisy...)
+		}
+	}
+
 	batchLosses := make([]float64, batch)
 	batchNorms := make([]float64, batch)
 	var poolStats parallel.Stats
-	for t := 0; t < cfg.Iterations; t++ {
+	for t := startIter; t < cfg.Iterations; t++ {
 		// Draw the whole batch first so rng consumption is independent of
 		// scheduling, then fan the per-sample passes out to the pool.
 		picks := make([]int, batch)
@@ -267,15 +292,28 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 				EpsilonSpent: epsSpent,
 			})
 		}
+		// Checkpoint after every CheckpointEvery-th completed iteration,
+		// except the last (a finished run has nothing to resume). Saving
+		// after the observer emit keeps the journal and the checkpoint in
+		// the same order a resumed run reproduces them.
+		if ck != nil && (t+1)%cfg.CheckpointEvery == 0 && t+1 < cfg.Iterations {
+			if err := ck.save(t+1, src.Draws(), model.Params, opt, res); err != nil {
+				m3.End()
+				root.End()
+				return nil, err
+			}
+		}
 	}
-	if cfg.Iterations > 0 {
-		res.PerEpoch = time.Since(trainStart) / time.Duration(cfg.Iterations)
+	// Timing and pool stats cover only the iterations this process ran;
+	// a resumed run reports the resumed range, not the checkpointed past.
+	if ran := cfg.Iterations - startIter; ran > 0 {
+		res.PerEpoch = time.Since(trainStart) / time.Duration(ran)
 	}
-	if o != nil && cfg.Iterations > 0 {
+	if o != nil && cfg.Iterations > startIter {
 		obs.Emit(o, obs.ParallelFor{
 			Site:      "train.dpsgd",
 			Workers:   poolStats.Workers,
-			Tasks:     batch * cfg.Iterations,
+			Tasks:     batch * (cfg.Iterations - startIter),
 			Chunks:    poolStats.Chunks,
 			Imbalance: poolStats.Imbalance(),
 			Elapsed:   time.Since(trainStart),

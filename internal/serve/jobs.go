@@ -86,23 +86,43 @@ type job struct {
 	g      *graph.Graph
 }
 
+// jobManagerOptions configure a jobManager; see the serve.Options fields
+// of the same names.
+type jobManagerOptions struct {
+	workers         int
+	queueCap        int
+	journalDir      string
+	checkpointEvery int
+	observer        obs.Observer // fanned into every job's training config
+	models          *modelRegistry
+	metrics         *obs.Registry
+	logf            func(string, ...any)
+}
+
 // jobManager runs training jobs on a bounded worker pool with a bounded
-// queue. Every status mutation happens under mu; workers copy what they
-// need out before releasing it, so a long Train never holds the lock.
+// queue. The queue is a slice guarded by mu/cond rather than a channel so
+// canceling a queued job can remove it — and release its queue slot —
+// immediately. Every status mutation happens under mu; workers copy what
+// they need out before releasing it, so a long Train never holds the
+// lock. With a journal directory configured, every state transition is
+// appended to a jobs.jsonl table that restart recovery replays.
 type jobManager struct {
 	mu       sync.Mutex
+	cond     *sync.Cond
 	jobs     map[string]*job
 	order    []string
-	queue    chan *job
+	pending  []*job // queued jobs, submission order
+	queueCap int
 	wg       sync.WaitGroup
 	draining bool
 	nextID   int
 
-	journalDir string
-	observer   obs.Observer // fanned into every job's training config
-	models     *modelRegistry
-	metrics    *obs.Registry
-	logf       func(string, ...any)
+	journalDir      string
+	checkpointEvery int
+	observer        obs.Observer
+	models          *modelRegistry
+	metrics         *obs.Registry
+	logf            func(string, ...any)
 
 	// perJobWorkers is the compute-pool width each training job runs at:
 	// the process-wide limit divided across the concurrent job slots, so a
@@ -111,26 +131,27 @@ type jobManager struct {
 	perJobWorkers int
 }
 
-func newJobManager(workers, queueCap int, journalDir string, observer obs.Observer,
-	models *modelRegistry, metrics *obs.Registry, logf func(string, ...any)) *jobManager {
+func newJobManager(opts jobManagerOptions) *jobManager {
 	perJob := 1
-	if workers > 0 {
-		if perJob = parallel.Limit() / workers; perJob < 1 {
+	if opts.workers > 0 {
+		if perJob = parallel.Limit() / opts.workers; perJob < 1 {
 			perJob = 1
 		}
 	}
 	m := &jobManager{
-		jobs:          make(map[string]*job),
-		queue:         make(chan *job, queueCap),
-		journalDir:    journalDir,
-		observer:      observer,
-		models:        models,
-		metrics:       metrics,
-		logf:          logf,
-		perJobWorkers: perJob,
+		jobs:            make(map[string]*job),
+		queueCap:        opts.queueCap,
+		journalDir:      opts.journalDir,
+		checkpointEvery: opts.checkpointEvery,
+		observer:        opts.observer,
+		models:          opts.models,
+		metrics:         opts.metrics,
+		logf:            opts.logf,
+		perJobWorkers:   perJob,
 	}
-	m.wg.Add(workers)
-	for i := 0; i < workers; i++ {
+	m.cond = sync.NewCond(&m.mu)
+	m.wg.Add(opts.workers)
+	for i := 0; i < opts.workers; i++ {
 		go m.worker()
 	}
 	return m
@@ -144,6 +165,13 @@ func (m *jobManager) Submit(req TrainRequest, g *graph.Graph) (JobStatus, error)
 	if m.draining {
 		return JobStatus{}, errDraining
 	}
+	// Admission first: a rejected submission must not consume an ID (gaps
+	// in the job-XXXX sequence would otherwise leak queue pressure into
+	// the naming and break ID-based recovery bookkeeping).
+	if len(m.pending) >= m.queueCap {
+		m.metrics.Counter("serve.jobs.rejected").Inc()
+		return JobStatus{}, errQueueFull
+	}
 	m.nextID++
 	j := &job{
 		status: JobStatus{
@@ -155,14 +183,13 @@ func (m *jobManager) Submit(req TrainRequest, g *graph.Graph) (JobStatus, error)
 		req: req,
 		g:   g,
 	}
-	select {
-	case m.queue <- j:
-	default:
-		return JobStatus{}, errQueueFull
-	}
 	m.jobs[j.status.ID] = j
 	m.order = append(m.order, j.status.ID)
+	m.pending = append(m.pending, j)
 	m.metrics.Counter("serve.jobs.submitted").Inc()
+	m.metrics.Gauge("serve.jobs.queued").Inc()
+	m.persistLocked(j)
+	m.cond.Signal()
 	return j.status, nil
 }
 
@@ -189,7 +216,9 @@ func (m *jobManager) List() []JobStatus {
 	return out
 }
 
-// Cancel marks a queued job canceled. Running or finished jobs conflict.
+// Cancel marks a queued job canceled and removes it from the queue, so
+// the slot it held is immediately available to new submissions. Running
+// or finished jobs conflict.
 func (m *jobManager) Cancel(id string) (JobStatus, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -202,7 +231,15 @@ func (m *jobManager) Cancel(id string) (JobStatus, error) {
 	}
 	j.status.State = JobCanceled
 	j.status.Finished = time.Now()
+	for i, p := range m.pending {
+		if p == j {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			m.metrics.Gauge("serve.jobs.queued").Dec()
+			break
+		}
+	}
 	m.metrics.Counter("serve.jobs.canceled").Inc()
+	m.persistLocked(j)
 	return j.status, nil
 }
 
@@ -212,7 +249,7 @@ func (m *jobManager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.draining {
 		m.draining = true
-		close(m.queue)
+		m.cond.Broadcast()
 	}
 	m.mu.Unlock()
 	done := make(chan struct{})
@@ -230,9 +267,30 @@ func (m *jobManager) Shutdown(ctx context.Context) error {
 
 func (m *jobManager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j := m.dequeue()
+		if j == nil {
+			return
+		}
 		m.run(j)
 	}
+}
+
+// dequeue blocks until a job is available or the manager is draining
+// with an empty queue (drain still runs everything already accepted).
+func (m *jobManager) dequeue() *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.pending) == 0 && !m.draining {
+		m.cond.Wait()
+	}
+	if len(m.pending) == 0 {
+		return nil
+	}
+	j := m.pending[0]
+	m.pending = m.pending[1:]
+	m.metrics.Gauge("serve.jobs.queued").Dec()
+	return j
 }
 
 // run executes one job end to end. The job's own Observer stack is the
@@ -247,9 +305,10 @@ func (m *jobManager) run(j *job) {
 	j.status.State = JobRunning
 	j.status.Started = time.Now()
 	req, g, id := j.req, j.g, j.status.ID
+	m.persistLocked(j)
 	m.mu.Unlock()
-	m.metrics.Counter("serve.jobs.running").Inc()
-	defer m.metrics.Counter("serve.jobs.running").Add(-1)
+	m.metrics.Gauge("serve.jobs.running").Inc()
+	defer m.metrics.Gauge("serve.jobs.running").Dec()
 
 	observer := m.observer
 	var journalPath string
@@ -283,6 +342,13 @@ func (m *jobManager) run(j *job) {
 	}
 	if req.GNN != "" {
 		cfg.GNNKind = gnn.Kind(req.GNN)
+	}
+	if m.journalDir != "" {
+		// Crash safety: the job trains with periodic checkpoints under the
+		// journal directory, so a daemon restart resumes it bit-for-bit
+		// (core.Train picks the newest valid checkpoint up on its own).
+		cfg.CheckpointDir = m.checkpointDir(id)
+		cfg.CheckpointEvery = m.checkpointEvery
 	}
 
 	start := time.Now()
@@ -321,7 +387,13 @@ func (m *jobManager) run(j *job) {
 		j.status.Private = res.Private
 		j.status.NumSubgraphs = res.NumSubgraphs
 	}
+	m.persistLocked(j)
 	m.mu.Unlock()
+	if err == nil && cfg.CheckpointDir != "" {
+		// A finished job has nothing to resume; failed jobs keep their
+		// checkpoints for post-mortem debugging.
+		os.RemoveAll(cfg.CheckpointDir)
+	}
 	if err != nil {
 		m.metrics.Counter("serve.jobs.failed").Inc()
 		m.logf("serve: %s failed: %v", id, err)

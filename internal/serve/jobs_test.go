@@ -15,7 +15,12 @@ func discard(string, ...any) {}
 // newIdleManager returns a manager with no workers, so submitted jobs
 // stay queued deterministically.
 func newIdleManager(queueCap int) *jobManager {
-	return newJobManager(0, queueCap, "", nil, newModelRegistry(), obs.NewRegistry(), discard)
+	return newJobManager(jobManagerOptions{
+		queueCap: queueCap,
+		models:   newModelRegistry(),
+		metrics:  obs.NewRegistry(),
+		logf:     discard,
+	})
 }
 
 func TestJobQueueBoundsAndCancel(t *testing.T) {
@@ -68,18 +73,22 @@ func TestJobManagerDrainRejectsNewWork(t *testing.T) {
 }
 
 func TestCanceledJobIsSkippedByWorker(t *testing.T) {
-	// No workers yet: submit, cancel, then run the queue manually the way
-	// a worker would — the canceled job must not execute.
+	// Cancel racing a worker: the job is dequeued (as a worker would)
+	// before the cancel lands, so it is no longer in the pending queue —
+	// the run-time state guard must still refuse to execute it.
 	m := newIdleManager(1)
 	g := graph.NewWithNodes(4, true)
 	st, err := m.Submit(TrainRequest{Graph: "g"}, g)
 	if err != nil {
 		t.Fatal(err)
 	}
+	j := m.dequeue()
+	if j == nil || j.status.ID != st.ID {
+		t.Fatalf("dequeue returned %v, want job %s", j, st.ID)
+	}
 	if _, err := m.Cancel(st.ID); err != nil {
 		t.Fatal(err)
 	}
-	j := <-m.queue
 	m.run(j)
 	got, err := m.Get(st.ID)
 	if err != nil {
@@ -87,5 +96,112 @@ func TestCanceledJobIsSkippedByWorker(t *testing.T) {
 	}
 	if got.State != JobCanceled {
 		t.Fatalf("canceled job ran: state = %s", got.State)
+	}
+}
+
+// TestCancelReleasesQueueSlot is the regression test for canceled queued
+// jobs pinning queue capacity: fill the queue, cancel everything, and
+// the queue must accept a full complement of new jobs again.
+func TestCancelReleasesQueueSlot(t *testing.T) {
+	const capacity = 3
+	m := newIdleManager(capacity)
+	g := graph.NewWithNodes(4, true)
+
+	ids := make([]string, 0, capacity)
+	for i := 0; i < capacity; i++ {
+		st, err := m.Submit(TrainRequest{Graph: "g"}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	if _, err := m.Submit(TrainRequest{Graph: "g"}, g); !errors.Is(err, errQueueFull) {
+		t.Fatalf("overfull submit err = %v, want errQueueFull", err)
+	}
+	for _, id := range ids {
+		if _, err := m.Cancel(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every canceled slot is free again.
+	for i := 0; i < capacity; i++ {
+		if _, err := m.Submit(TrainRequest{Graph: "g"}, g); err != nil {
+			t.Fatalf("submit %d after cancels: %v", i, err)
+		}
+	}
+	if _, err := m.Submit(TrainRequest{Graph: "g"}, g); !errors.Is(err, errQueueFull) {
+		t.Fatalf("refilled queue should be full again, got %v", err)
+	}
+}
+
+// TestRejectedSubmitDoesNotConsumeID is the regression test for Submit
+// burning a job ID on queue-full rejection: the ID sequence must stay
+// dense across rejections, and rejections must be counted.
+func TestRejectedSubmitDoesNotConsumeID(t *testing.T) {
+	metrics := obs.NewRegistry()
+	m := newJobManager(jobManagerOptions{
+		queueCap: 1,
+		models:   newModelRegistry(),
+		metrics:  metrics,
+		logf:     discard,
+	})
+	g := graph.NewWithNodes(4, true)
+
+	first, err := m.Submit(TrainRequest{Graph: "g"}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ID != "job-0001" {
+		t.Fatalf("first ID = %s", first.ID)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := m.Submit(TrainRequest{Graph: "g"}, g); !errors.Is(err, errQueueFull) {
+			t.Fatalf("submit into full queue: %v", err)
+		}
+	}
+	if _, err := m.Cancel(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Submit(TrainRequest{Graph: "g"}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != "job-0002" {
+		t.Fatalf("ID after 5 rejections = %s, want job-0002 (rejections must not consume IDs)", second.ID)
+	}
+	if v := metrics.Counter("serve.jobs.rejected").Value(); v != 5 {
+		t.Fatalf("serve.jobs.rejected = %d, want 5", v)
+	}
+}
+
+// TestQueuedGaugeTracksQueue: the queued gauge rises on submit and falls
+// on cancel and dequeue — level semantics a Counter cannot provide.
+func TestQueuedGaugeTracksQueue(t *testing.T) {
+	metrics := obs.NewRegistry()
+	m := newJobManager(jobManagerOptions{
+		queueCap: 4,
+		models:   newModelRegistry(),
+		metrics:  metrics,
+		logf:     discard,
+	})
+	g := graph.NewWithNodes(4, true)
+	queued := metrics.Gauge("serve.jobs.queued")
+
+	a, _ := m.Submit(TrainRequest{Graph: "g"}, g)
+	b, _ := m.Submit(TrainRequest{Graph: "g"}, g)
+	if v := queued.Value(); v != 2 {
+		t.Fatalf("queued gauge = %v, want 2", v)
+	}
+	if _, err := m.Cancel(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if v := queued.Value(); v != 1 {
+		t.Fatalf("queued gauge after cancel = %v, want 1", v)
+	}
+	if j := m.dequeue(); j == nil || j.status.ID != b.ID {
+		t.Fatalf("dequeue got %v, want %s", j, b.ID)
+	}
+	if v := queued.Value(); v != 0 {
+		t.Fatalf("queued gauge after dequeue = %v, want 0", v)
 	}
 }

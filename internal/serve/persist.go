@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"privim/internal/graph"
+	"privim/internal/nn"
+)
+
+// Job-table persistence. With a journal directory configured, the job
+// manager appends one JSON line per state transition to
+// <journalDir>/jobs.jsonl — an append-only table where the last record
+// per job ID wins. On daemon restart, RecoverJobs replays the table:
+// finished jobs come back as history, queued jobs requeue, and jobs that
+// were running when the process died resume from their last good
+// training checkpoint (<journalDir>/checkpoints/<job-id>) — or are
+// marked failed when no recoverable checkpoint survived. Corrupt table
+// lines (torn writes) are skipped, never fatal.
+
+// jobRecord is one line of the job table.
+type jobRecord struct {
+	Req    TrainRequest `json:"req"`
+	Status JobStatus    `json:"status"`
+}
+
+func (m *jobManager) jobTablePath() string {
+	return filepath.Join(m.journalDir, "jobs.jsonl")
+}
+
+// checkpointDir is where one job's training checkpoints live.
+func (m *jobManager) checkpointDir(id string) string {
+	return filepath.Join(m.journalDir, "checkpoints", id)
+}
+
+// persistLocked appends j's current state to the job table; the caller
+// holds m.mu, which also serializes writers. Persistence failures are
+// logged, not fatal — the daemon keeps serving with in-memory state.
+func (m *jobManager) persistLocked(j *job) {
+	if m.journalDir == "" {
+		return
+	}
+	line, err := json.Marshal(jobRecord{Req: j.req, Status: j.status})
+	if err != nil {
+		m.logf("serve: job table: marshal %s: %v", j.status.ID, err)
+		return
+	}
+	f, err := os.OpenFile(m.jobTablePath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		m.logf("serve: job table: %v", err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		m.logf("serve: job table: append %s: %v", j.status.ID, err)
+	}
+}
+
+// loadJobTable replays the table, returning the last record per job ID
+// plus IDs in first-appearance (submission) order. Unparseable lines are
+// skipped with a log line.
+func loadJobTable(path string, logf func(string, ...any)) (map[string]jobRecord, []string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil // no table yet — fresh journal directory
+	}
+	defer f.Close()
+	recs := make(map[string]jobRecord)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Status.ID == "" {
+			logf("serve: job table %s: skipping corrupt line %d", path, lineNo)
+			continue
+		}
+		if _, seen := recs[rec.Status.ID]; !seen {
+			order = append(order, rec.Status.ID)
+		}
+		recs[rec.Status.ID] = rec
+	}
+	if err := sc.Err(); err != nil {
+		logf("serve: job table %s: %v (recovered %d job(s) before the error)", path, err, len(order))
+	}
+	return recs, order
+}
+
+// hasRecoverableCheckpoint reports whether dir holds at least one
+// checkpoint file that passes integrity verification — the test that
+// separates a resumable interrupted job from an orphan. (Training
+// re-validates the checkpoint against the run fingerprint on resume;
+// this is the cheap file-level screen.)
+func hasRecoverableCheckpoint(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	var names []string
+	for _, e := range entries {
+		if name := e.Name(); strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".ckpt") {
+			names = append(names, name)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		if _, err := nn.ReadFileVerified(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// recover replays the job table into the manager. lookup resolves a
+// graph name to its stored graph (nil when the graph no longer exists).
+// Recovered queued jobs bypass the queue-capacity check: they were
+// admitted before the restart and rejecting them now would silently drop
+// accepted work.
+func (m *jobManager) recover(lookup func(string) *graph.Graph) (requeued, failed int) {
+	if m.journalDir == "" {
+		return 0, 0
+	}
+	recs, order := loadJobTable(m.jobTablePath(), m.logf)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, id := range order {
+		rec := recs[id]
+		if _, exists := m.jobs[id]; exists {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > m.nextID {
+			m.nextID = n
+		}
+		j := &job{status: rec.Status, req: rec.Req}
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+		switch rec.Status.State {
+		case JobQueued, JobRunning:
+			interrupted := rec.Status.State == JobRunning
+			fail := func(reason string) {
+				j.status.State = JobFailed
+				j.status.Error = reason
+				j.status.Finished = time.Now()
+				failed++
+				m.metrics.Counter("serve.jobs.orphaned").Inc()
+				m.persistLocked(j)
+				m.logf("serve: recovery: %s failed: %s", id, reason)
+			}
+			g := lookup(rec.Req.Graph)
+			if g == nil {
+				fail(fmt.Sprintf("graph %q not available after restart", rec.Req.Graph))
+				continue
+			}
+			if interrupted && !hasRecoverableCheckpoint(m.checkpointDir(id)) {
+				fail("interrupted before a durable checkpoint; not recoverable")
+				continue
+			}
+			j.g = g
+			j.status.State = JobQueued
+			j.status.Started = time.Time{}
+			j.status.Error = ""
+			m.pending = append(m.pending, j)
+			m.metrics.Gauge("serve.jobs.queued").Inc()
+			requeued++
+			m.persistLocked(j)
+			m.cond.Signal()
+			if interrupted {
+				m.logf("serve: recovery: %s resuming from checkpoint", id)
+			} else {
+				m.logf("serve: recovery: %s requeued", id)
+			}
+		default:
+			// done / failed / canceled: history only.
+		}
+	}
+	return requeued, failed
+}
+
+// RecoverJobs replays the persisted job table (see the package comment
+// above) after a daemon restart. Call it once, after graphs are loaded —
+// recovered jobs resolve their graphs against the current store. It
+// returns how many jobs were requeued (including interrupted jobs that
+// will resume from checkpoints) and how many could not be recovered.
+func (s *Server) RecoverJobs() (requeued, failed int) {
+	return s.jobs.recover(func(name string) *graph.Graph {
+		e, err := s.graphs.Get(name)
+		if err != nil {
+			return nil
+		}
+		return e.g
+	})
+}

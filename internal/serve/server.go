@@ -43,8 +43,14 @@ type Options struct {
 	// base filename).
 	ModelsDir string
 	// JournalDir, when set, gives every training job a per-job JSONL
-	// event journal <dir>/<job-id>.jsonl.
+	// event journal <dir>/<job-id>.jsonl, makes the job table durable
+	// (<dir>/jobs.jsonl, replayed by RecoverJobs after a restart), and
+	// checkpoints every running job's training state under
+	// <dir>/checkpoints/<job-id> so interrupted jobs resume bit-for-bit.
 	JournalDir string
+	// CheckpointEvery is the training-checkpoint cadence in iterations
+	// for jobs run under a JournalDir (default 10).
+	CheckpointEvery int
 
 	// MaxConcurrent bounds in-flight requests across all /v1 endpoints;
 	// excess requests get 429 (default 8).
@@ -88,6 +94,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.TrainQueue == 0 {
 		o.TrainQueue = 16
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 10
 	}
 	if o.CacheSize == 0 {
 		o.CacheSize = 256
@@ -134,8 +143,16 @@ func New(opts Options) (*Server, error) {
 	}
 	// Training events always aggregate into the server registry (so
 	// /metrics covers job telemetry) alongside any caller observer.
-	s.jobs = newJobManager(opts.TrainWorkers, opts.TrainQueue, opts.JournalDir,
-		obs.Multi(opts.Observer, s.reg), s.models, s.reg, opts.Logf)
+	s.jobs = newJobManager(jobManagerOptions{
+		workers:         opts.TrainWorkers,
+		queueCap:        opts.TrainQueue,
+		journalDir:      opts.JournalDir,
+		checkpointEvery: opts.CheckpointEvery,
+		observer:        obs.Multi(opts.Observer, s.reg),
+		models:          s.models,
+		metrics:         s.reg,
+		logf:            opts.Logf,
+	})
 	s.admission = newAdmission(opts.MaxConcurrent, s.reg)
 	s.buildRoutes()
 	return s, nil

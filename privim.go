@@ -194,6 +194,12 @@ type (
 	SeedSelected = obs.SeedSelected
 	// ExtractionDone summarizes one subgraph-extraction stage.
 	ExtractionDone = obs.ExtractionDone
+	// CheckpointSaved / CheckpointResumed / CheckpointRejected report the
+	// crash-safe training checkpoint lifecycle (see the README's
+	// Durability section).
+	CheckpointSaved    = obs.CheckpointSaved
+	CheckpointResumed  = obs.CheckpointResumed
+	CheckpointRejected = obs.CheckpointRejected
 	// JSONLSink journals events as JSON lines.
 	JSONLSink = obs.JSONLSink
 	// MetricsRegistry aggregates events into named counters, gauges, and
