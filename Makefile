@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race cover bench bench-all bench-smoke suite suite-paper examples fuzz serve-smoke crash-smoke clean
+.PHONY: all build test vet lint race cover bench bench-all bench-smoke suite suite-paper examples fuzz serve-smoke crash-smoke trace-smoke clean
 
 all: build vet test
 
@@ -82,6 +82,18 @@ serve-smoke:
 	echo "serve-smoke: OK"; status=$$?; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -f /tmp/privimd-smoke; exit $$status
+
+# Tiny training run with -trace-out, then validate the emitted Chrome
+# trace-event JSON with tracecat.
+trace-smoke:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/privim -preset email -scale 0.02 -mode non-private -iters 2 -k 2 \
+		-trace-out $$dir/trace.json -journal $$dir/run.jsonl >/dev/null && \
+	$(GO) run ./cmd/tracecat -check $$dir/trace.json && \
+	$(GO) run ./cmd/tracecat -o $$dir/from-journal.json $$dir/run.jsonl && \
+	$(GO) run ./cmd/tracecat -check $$dir/from-journal.json && \
+	echo "trace-smoke: OK"; status=$$?; \
+	rm -rf $$dir; exit $$status
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@
 package privim_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -335,6 +336,19 @@ func BenchmarkTrainNoObserver(b *testing.B) {
 		obs.StartSpan(nil, "bench").Child("inner").End()
 	}); n != 0 {
 		b.Fatalf("nil-observer emit allocates %v per op, want 0", n)
+	}
+	// The context plumbing keeps the same contract: with no parent span
+	// and no observer, StartSpanCtx and the accessors touch nothing on
+	// the heap, so context-threaded call sites stay free when unobserved.
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		span := obs.StartSpanCtx(ctx, nil, "bench")
+		_ = obs.ContextWithSpan(ctx, span)
+		_ = obs.SpanFromContext(ctx)
+		_ = obs.TraceFromContext(ctx)
+		span.End()
+	}); n != 0 {
+		b.Fatalf("nil-observer context path allocates %v per op, want 0", n)
 	}
 	ds, err := dataset.Generate(dataset.Email, dataset.Options{Scale: 0.2, Seed: 1, InfluenceProb: 1})
 	if err != nil {

@@ -7,10 +7,12 @@
 //	privim -preset lastfm -scale 0.05 -mode privim* -eps 3 -k 10
 //	privim -graph my.edges -mode privim -eps 1 -k 20
 //	privim -journal run.jsonl -debug-addr localhost:6060 -preset email
+//	privim -trace-out trace.json -slow-span 2s -preset email
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -58,6 +60,10 @@ func main() {
 	}
 	defer stack.Close()
 	observer := stack.Observer
+	ctx := stack.Context(context.Background())
+	if observer != nil {
+		fmt.Printf("trace: %s\n", stack.TraceID)
+	}
 
 	g, err := loadGraph(*graphPath, *preset, *scale, *seed)
 	if err != nil {
@@ -95,7 +101,7 @@ func main() {
 		x := tensor.FromSlice(g.NumNodes(), dataset.NumStructuralFeatures, dataset.StructuralFeatures(g))
 		seeds = im.TopKScores(model.Score(g, x), *k)
 	} else {
-		res, err := privim.Train(g, cfg)
+		res, err := privim.TrainContext(ctx, g, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -109,13 +115,13 @@ func main() {
 		seeds = res.SelectSeeds(g, *k)
 	}
 	model := &diffusion.IC{G: g, MaxSteps: *steps}
-	spread := diffusion.EstimateObserved(model, seeds, 10, *seed, observer)
+	spread := diffusion.EstimateContext(ctx, model, seeds, 10, *seed, observer)
 	fmt.Printf("selected %d seeds: %v\n", len(seeds), seeds)
 	fmt.Printf("influence spread (j=%d): %.2f of %d nodes\n", *steps, spread, g.NumNodes())
 
 	if *compare {
 		celf := &im.CELF{Model: model, Rounds: 10, Seed: *seed, NumNodes: g.NumNodes(), Obs: observer}
-		ref := diffusion.Estimate(model, celf.Select(*k), 10, *seed)
+		ref := diffusion.Estimate(model, celf.SelectContext(ctx, *k), 10, *seed)
 		fmt.Printf("CELF reference spread: %.2f  coverage ratio: %.2f%%\n", ref, im.CoverageRatio(spread, ref))
 	}
 }

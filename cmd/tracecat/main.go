@@ -1,0 +1,107 @@
+// Command tracecat converts PrivIM JSONL run journals into Chrome
+// trace-event JSON, the format Perfetto (https://ui.perfetto.dev) and
+// chrome://tracing open directly:
+//
+//	tracecat run.jsonl > trace.json
+//	tracecat -o trace.json run1.jsonl run2.jsonl
+//	tracecat -trace 9f8e7d6c5b4a3f21 jobs/job-0001.jsonl > trace.json
+//	tracecat -check trace.json
+//
+// With no file arguments the journal is read from stdin. Multiple
+// journals are concatenated before conversion (timestamps are rebased
+// to the earliest record), which is how a server journal and a per-job
+// journal are merged into one timeline. -trace keeps only the records
+// of one trace ID — the value of the X-Privim-Trace response header or
+// a job's "trace" field. -check validates an already-converted trace
+// file instead of converting, for use in CI smoke tests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"privim/internal/obs"
+)
+
+func main() {
+	out := flag.String("o", "", "write trace JSON to this file instead of stdout")
+	traceID := flag.String("trace", "", "keep only records of this trace ID")
+	check := flag.Bool("check", false, "validate trace-event JSON files instead of converting")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: tracecat [-o out.json] [-trace id] [journal.jsonl ...]\n"+
+				"       tracecat -check [trace.json ...]\n\n"+
+				"Converts PrivIM JSONL run journals to Chrome trace-event JSON\n"+
+				"(open in https://ui.perfetto.dev or chrome://tracing).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *check {
+		if err := runCheck(flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecat: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runConvert(flag.Args(), *out, *traceID); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runConvert concatenates the journals (stdin when none) and writes one
+// trace-event document.
+func runConvert(journals []string, out, traceID string) error {
+	var readers []io.Reader
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	if len(journals) == 0 {
+		readers = append(readers, os.Stdin)
+	}
+	for _, path := range journals {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f)
+		readers = append(readers, f)
+	}
+
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return obs.WriteChromeTrace(io.MultiReader(readers...), w, traceID)
+}
+
+// runCheck validates each trace file (stdin when none).
+func runCheck(files []string) error {
+	if len(files) == 0 {
+		return obs.ValidateChromeTrace(os.Stdin)
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = obs.ValidateChromeTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	return nil
+}

@@ -1,11 +1,13 @@
 // Package cliutil holds the flag plumbing shared by the privim binaries
-// (cmd/privim, cmd/imbench, cmd/privimd): the -journal / -debug-addr
-// observability pair and the assembly of the observer stack they
-// request. Centralizing it keeps the three CLIs' behavior identical —
-// same flag names, same help text, same journal/debug lifecycle.
+// (cmd/privim, cmd/imbench, cmd/privimd): the observability flag set
+// (-journal, -debug-addr, -trace-out, -slow-span) and the assembly of
+// the observer stack they request. Centralizing it keeps the CLIs'
+// behavior identical — same flag names, same help text, same
+// journal/trace/debug lifecycle.
 package cliutil
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -53,45 +55,67 @@ func (f *CheckpointFlags) Register(fs *flag.FlagSet) {
 		"checkpoint cadence in training iterations (default 10; only with -checkpoint-dir)")
 }
 
-// ObserverFlags is the observability flag pair every binary exposes.
+// ObserverFlags is the observability flag set every binary exposes.
 // Register installs the flags on a FlagSet; Setup builds the stack the
 // parsed values request.
 type ObserverFlags struct {
 	Journal   string
 	DebugAddr string
+	TraceOut  string
+	SlowSpan  time.Duration
 }
 
-// Register installs -journal and -debug-addr on fs with the shared help
-// text.
+// Register installs -journal, -debug-addr, -trace-out, and -slow-span on
+// fs with the shared help text.
 func (f *ObserverFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Journal, "journal", "",
 		"append a JSONL event journal (spans, per-iteration loss/ε, MC batches) to this path")
 	fs.StringVar(&f.DebugAddr, "debug-addr", "",
-		"serve live metrics (expvar /debug/vars) and pprof (/debug/pprof/) on host:port")
+		"serve live metrics (expvar /debug/vars, Prometheus /metrics/prom) and pprof (/debug/pprof/) on host:port")
+	fs.StringVar(&f.TraceOut, "trace-out", "",
+		"write a Chrome trace-event JSON timeline of the run to this path (open in https://ui.perfetto.dev)")
+	fs.DurationVar(&f.SlowSpan, "slow-span", 0,
+		"emit a span_slow event when any span exceeds this duration (0 = off)")
 }
 
 // Stack is the assembled observability plumbing: the fan-out Observer to
-// hand to pipeline configs (nil when neither flag was set, so the
-// zero-cost unobserved path is preserved), plus the registry and debug
-// server when -debug-addr requested them. Close must run before exit to
-// drain the journal and stop the debug listener.
+// hand to pipeline configs (nil when no event-consuming flag was set, so
+// the zero-cost unobserved path is preserved), plus the registry and
+// debug server when -debug-addr requested them. TraceID is the run's
+// trace — minted once per Setup and stamped on the journal and every
+// span started via Context. Close must run before exit to drain the
+// journal, convert the trace timeline, and stop the debug listener.
 type Stack struct {
 	Observer obs.Observer
 	Registry *obs.Registry    // non-nil iff -debug-addr was set
 	Debug    *obs.DebugServer // non-nil iff -debug-addr was set
+	TraceID  string
 
-	name string
-	sink *obs.JSONLSink
-	file *os.File
+	name      string
+	sink      *obs.JSONLSink
+	file      *os.File
+	traceBuf  *bytes.Buffer
+	traceSink *obs.JSONLSink
+	traceOut  string
+	watchdog  *obs.SlowSpanWatchdog
+}
+
+// Context returns ctx carrying the stack's trace ID, for threading into
+// the context-aware pipeline entry points (privim.TrainContext,
+// im SelectContext, diffusion.EstimateContext).
+func (s *Stack) Context(ctx context.Context) context.Context {
+	return obs.ContextWithTrace(ctx, s.TraceID)
 }
 
 // Setup assembles what the flags request: a JSONL journal sink when
-// -journal is set, and a metrics registry published via expvar under
-// name behind a pprof-enabled debug listener when -debug-addr is set.
-// A non-nil reg is used in place of a fresh registry — the daemon shares
-// one registry between its /metrics endpoint and /debug/vars.
+// -journal is set, a Chrome trace-event timeline when -trace-out is set,
+// a slow-span watchdog when -slow-span is set, and a metrics registry
+// published via expvar under name behind a pprof-enabled debug listener
+// when -debug-addr is set. A non-nil reg is used in place of a fresh
+// registry — the daemon shares one registry between its /metrics
+// endpoint and /debug/vars.
 func (f *ObserverFlags) Setup(name string, reg *obs.Registry) (*Stack, error) {
-	s := &Stack{name: name}
+	s := &Stack{name: name, TraceID: obs.NewTraceID()}
 	var observers []obs.Observer
 	if f.Journal != "" {
 		file, err := os.Create(f.Journal)
@@ -100,7 +124,18 @@ func (f *ObserverFlags) Setup(name string, reg *obs.Registry) (*Stack, error) {
 		}
 		s.file = file
 		s.sink = obs.NewJSONLSink(file)
+		s.sink.SetTrace(s.TraceID)
 		observers = append(observers, s.sink)
+	}
+	if f.TraceOut != "" {
+		// Events journal into memory during the run; Close converts the
+		// buffer to trace-event JSON (the converter needs the whole stream
+		// to lay spans out on virtual threads).
+		s.traceBuf = &bytes.Buffer{}
+		s.traceOut = f.TraceOut
+		s.traceSink = obs.NewJSONLSink(s.traceBuf)
+		s.traceSink.SetTrace(s.TraceID)
+		observers = append(observers, s.traceSink)
 	}
 	if f.DebugAddr != "" {
 		// A caller-provided registry is published but not fanned into the
@@ -115,26 +150,36 @@ func (f *ObserverFlags) Setup(name string, reg *obs.Registry) (*Stack, error) {
 			s.closeJournal()
 			return nil, err
 		}
-		dbg, err := obs.StartDebugServer(f.DebugAddr)
+		dbg, err := obs.StartDebugServer(f.DebugAddr, reg)
 		if err != nil {
 			s.closeJournal()
 			return nil, err
 		}
 		s.Registry, s.Debug = reg, dbg
-		fmt.Printf("debug server: http://%s/debug/vars (metrics), http://%s/debug/pprof/ (profiles)\n",
-			dbg.Addr(), dbg.Addr())
+		fmt.Printf("debug server: http://%s/debug/vars (metrics), http://%s/metrics/prom (Prometheus), http://%s/debug/pprof/ (profiles)\n",
+			dbg.Addr(), dbg.Addr(), dbg.Addr())
 		if owned {
 			observers = append(observers, reg)
 		}
 	}
 	s.Observer = obs.Multi(observers...)
+	if f.SlowSpan > 0 && s.Observer != nil {
+		s.watchdog = obs.NewSlowSpanWatchdog(f.SlowSpan, s.Observer)
+		s.Observer = s.watchdog
+	}
 	return s, nil
 }
 
-// Close drains the journal to disk and gracefully stops the debug
-// server (bounded wait for in-flight scrapes).
+// Close stops the watchdog, drains the journal to disk, converts the
+// -trace-out timeline, and gracefully stops the debug server (bounded
+// wait for in-flight scrapes).
 func (s *Stack) Close() {
+	if s.watchdog != nil {
+		s.watchdog.Close()
+		s.watchdog = nil
+	}
 	s.closeJournal()
+	s.writeTrace()
 	if s.Debug != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
@@ -151,4 +196,28 @@ func (s *Stack) closeJournal() {
 	}
 	s.file.Close()
 	s.sink, s.file = nil, nil
+}
+
+// writeTrace converts the buffered event stream into the -trace-out
+// Chrome trace-event file.
+func (s *Stack) writeTrace() {
+	if s.traceBuf == nil {
+		return
+	}
+	if err := s.traceSink.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: trace-out: %v\n", s.name, err)
+	}
+	buf := s.traceBuf
+	s.traceBuf, s.traceSink = nil, nil
+	f, err := os.Create(s.traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: trace-out: %v\n", s.name, err)
+		return
+	}
+	if err := obs.WriteChromeTrace(buf, f, ""); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: trace-out: %v\n", s.name, err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: trace-out: %v\n", s.name, err)
+	}
 }

@@ -6,6 +6,7 @@
 package diffusion
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -206,6 +207,20 @@ func EstimateWorkers(model Model, seeds []graph.NodeID, rounds int, seed int64, 
 // cascade-size histogram. A nil observer adds one predictable branch per
 // round and no allocations — Estimate simply calls through.
 func EstimateObserved(model Model, seeds []graph.NodeID, rounds int, seed int64, o obs.Observer) float64 {
+	return estimate(model, seeds, rounds, seed, 0, o)
+}
+
+// EstimateContext is EstimateObserved under a caller context: the batch
+// runs inside a "diffusion.estimate" span rooted under the context's
+// span (or fresh on o), inheriting the context's trace ID. A nil o with
+// a span-carrying context still journals — the span's observer receives
+// the MCBatchDone event.
+func EstimateContext(ctx context.Context, model Model, seeds []graph.NodeID, rounds int, seed int64, o obs.Observer) float64 {
+	span := obs.StartSpanCtx(ctx, o, "diffusion.estimate")
+	defer span.End()
+	if o == nil {
+		o = span.Observer()
+	}
 	return estimate(model, seeds, rounds, seed, 0, o)
 }
 

@@ -7,10 +7,10 @@ package im
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
-	"time"
 
 	"privim/internal/bitset"
 	"privim/internal/diffusion"
@@ -84,6 +84,15 @@ func (c *CELF) Name() string { return "celf" }
 
 // Select implements Solver.
 func (c *CELF) Select(k int) []graph.NodeID {
+	return c.SelectContext(context.Background(), k)
+}
+
+// SelectContext is Select under a caller context: the solver's span tree
+// roots under the context's span (or a fresh root on Obs) and inherits
+// the context's trace ID, so solver time shows up in request traces.
+func (c *CELF) SelectContext(ctx context.Context, k int) []graph.NodeID {
+	span := obs.StartSpanCtx(ctx, c.Obs, "im.celf.select")
+	defer span.End()
 	cands := c.Candidates
 	if cands == nil {
 		cands = make([]graph.NodeID, c.NumNodes)
@@ -113,24 +122,13 @@ func (c *CELF) Select(k int) []graph.NodeID {
 	// the candidates out and keep each estimate serial (workers=1) to avoid
 	// nesting. Estimates are per-round-seeded, so gains are identical to
 	// the serial pass.
-	initStart := time.Now()
 	gains := make([]float64, len(cands))
-	st := parallel.For(workers, len(cands), 4, func(_, lo, hi int) {
+	parallel.ForObserved(span, "im.celf.initial", workers, len(cands), 4, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			gains[i] = diffusion.EstimateWorkers(c.Model, cands[i:i+1], rounds, c.Seed, 1)
 		}
 	})
 	c.Evaluations += len(cands)
-	if c.Obs != nil {
-		obs.Emit(c.Obs, obs.ParallelFor{
-			Site:      "im.celf.initial",
-			Workers:   st.Workers,
-			Tasks:     len(cands),
-			Chunks:    st.Chunks,
-			Imbalance: st.Imbalance(),
-			Elapsed:   time.Since(initStart),
-		})
-	}
 	q := make(celfQueue, 0, len(cands))
 	for i, v := range cands {
 		q = append(q, &celfEntry{node: v, gain: gains[i], round: 0})
@@ -194,6 +192,13 @@ func (g *Greedy) Name() string { return "greedy" }
 
 // Select implements Solver.
 func (g *Greedy) Select(k int) []graph.NodeID {
+	return g.SelectContext(context.Background(), k)
+}
+
+// SelectContext is Select under a caller context (see CELF.SelectContext).
+func (g *Greedy) SelectContext(ctx context.Context, k int) []graph.NodeID {
+	span := obs.StartSpanCtx(ctx, g.Obs, "im.greedy.select")
+	defer span.End()
 	if k > g.NumNodes {
 		k = g.NumNodes
 	}
@@ -211,7 +216,7 @@ func (g *Greedy) Select(k int) []graph.NodeID {
 		// Gain pass: independent per candidate, fanned out with serial
 		// inner estimates (no nesting). Each estimate is per-round-seeded,
 		// so gains match the serial solver exactly.
-		parallel.For(workers, g.NumNodes, 4, func(_, lo, hi int) {
+		parallel.ForObserved(span, "im.greedy.gains", workers, g.NumNodes, 4, func(_, lo, hi int) {
 			for v := lo; v < hi; v++ {
 				if chosen[graph.NodeID(v)] {
 					gains[v] = -1
@@ -345,6 +350,13 @@ func (r *RIS) Name() string { return "ris" }
 
 // Select implements Solver.
 func (r *RIS) Select(k int) []graph.NodeID {
+	return r.SelectContext(context.Background(), k)
+}
+
+// SelectContext is Select under a caller context (see CELF.SelectContext).
+func (r *RIS) SelectContext(ctx context.Context, k int) []graph.NodeID {
+	span := obs.StartSpanCtx(ctx, r.Obs, "im.ris.select")
+	defer span.End()
 	n := r.G.NumNodes()
 	if k > n {
 		k = n
@@ -356,19 +368,8 @@ func (r *RIS) Select(k int) []graph.NodeID {
 	// Build RR sets: from a uniform target, walk reverse arcs, keeping each
 	// with its influence probability. Set i draws target and arcs from its
 	// own stream, so generation parallelizes without changing the sample.
-	genStart := time.Now()
 	rrSets := make([][]graph.NodeID, samples)
-	st := generateRRSets(r.G, rrSets, 0, r.MaxDepth, r.Seed, r.Workers)
-	if r.Obs != nil {
-		obs.Emit(r.Obs, obs.ParallelFor{
-			Site:      "im.ris.rrsets",
-			Workers:   st.Workers,
-			Tasks:     samples,
-			Chunks:    st.Chunks,
-			Imbalance: st.Imbalance(),
-			Elapsed:   time.Since(genStart),
-		})
-	}
+	generateRRSets(r.G, rrSets, 0, r.MaxDepth, r.Seed, r.Workers, span, "im.ris.rrsets")
 	coverOf := make([][]int32, n) // node -> RR-set indices it appears in
 	for i, set := range rrSets {
 		for _, v := range set {
@@ -437,8 +438,9 @@ func newRRScratch(n int) *rrScratch { return &rrScratch{seen: bitset.New(n)} }
 // stream derived from (seed, base+i) — base offsets the stream index so
 // incremental callers (IMM) keep set identities stable across batches. It
 // fans the draws out on the worker pool with one scratch per worker and
-// returns the pool stats.
-func generateRRSets(g *graph.Graph, rrSets [][]graph.NodeID, base int, maxDepth int, seed int64, workers int) parallel.Stats {
+// returns the pool stats; a non-nil parent span gets a child span and a
+// ParallelFor event under the given site name.
+func generateRRSets(g *graph.Graph, rrSets [][]graph.NodeID, base int, maxDepth int, seed int64, workers int, parent *obs.Span, site string) parallel.Stats {
 	n := g.NumNodes()
 	workers = parallel.Resolve(workers)
 	if workers > len(rrSets) {
@@ -448,7 +450,7 @@ func generateRRSets(g *graph.Graph, rrSets [][]graph.NodeID, base int, maxDepth 
 		workers = 1
 	}
 	scratch := make([]*rrScratch, workers)
-	return parallel.For(workers, len(rrSets), 16, func(w, lo, hi int) {
+	return parallel.ForObserved(parent, site, workers, len(rrSets), 16, func(w, lo, hi int) {
 		sc := scratch[w]
 		if sc == nil {
 			sc = newRRScratch(n)

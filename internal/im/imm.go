@@ -1,8 +1,8 @@
 package im
 
 import (
+	"context"
 	"math"
-	"time"
 
 	"privim/internal/graph"
 	"privim/internal/obs"
@@ -52,21 +52,10 @@ func newRRIndex(n int) *rrIndex {
 	return &rrIndex{coverOf: make([][]int32, n)}
 }
 
-func (ix *rrIndex) generate(g *graph.Graph, count, maxDepth int, seed int64, workers int, o obs.Observer) {
+func (ix *rrIndex) generate(g *graph.Graph, count, maxDepth int, seed int64, workers int, parent *obs.Span) {
 	base := len(ix.sets)
 	batch := make([][]graph.NodeID, count)
-	start := time.Now()
-	st := generateRRSets(g, batch, base, maxDepth, seed, workers)
-	if o != nil {
-		obs.Emit(o, obs.ParallelFor{
-			Site:      "im.imm.rrsets",
-			Workers:   st.Workers,
-			Tasks:     count,
-			Chunks:    st.Chunks,
-			Imbalance: st.Imbalance(),
-			Elapsed:   time.Since(start),
-		})
-	}
+	generateRRSets(g, batch, base, maxDepth, seed, workers, parent, "im.imm.rrsets")
 	for _, set := range batch {
 		id := int32(len(ix.sets))
 		ix.sets = append(ix.sets, set)
@@ -125,6 +114,13 @@ func (ix *rrIndex) maxCover(n, k int) ([]graph.NodeID, float64) {
 
 // Select implements Solver following IMM's two phases.
 func (s *IMM) Select(k int) []graph.NodeID {
+	return s.SelectContext(context.Background(), k)
+}
+
+// SelectContext is Select under a caller context (see CELF.SelectContext).
+func (s *IMM) SelectContext(ctx context.Context, k int) []graph.NodeID {
+	span := obs.StartSpanCtx(ctx, s.Obs, "im.imm.select")
+	defer span.End()
 	n := s.G.NumNodes()
 	if n == 0 || k <= 0 {
 		return nil
@@ -164,7 +160,7 @@ func (s *IMM) Select(k int) []graph.NodeID {
 			thetaI = maxSamples
 		}
 		if need := thetaI - len(ix.sets); need > 0 {
-			ix.generate(s.G, need, s.MaxDepth, s.Seed, s.Workers, s.Obs)
+			ix.generate(s.G, need, s.MaxDepth, s.Seed, s.Workers, span)
 		}
 		_, frac := ix.maxCover(n, k)
 		if fn*frac >= (1+epsPrime)*x {
@@ -185,7 +181,7 @@ func (s *IMM) Select(k int) []graph.NodeID {
 		theta = maxSamples
 	}
 	if need := theta - len(ix.sets); need > 0 {
-		ix.generate(s.G, need, s.MaxDepth, s.Seed, s.Workers, s.Obs)
+		ix.generate(s.G, need, s.MaxDepth, s.Seed, s.Workers, span)
 	}
 	seeds, _ := ix.maxCover(n, k)
 	return seeds

@@ -71,11 +71,11 @@ func TestSolversWorkerInvariant(t *testing.T) {
 func TestGenerateRRSetsStreamStable(t *testing.T) {
 	g := parallelTestGraph(t)
 	whole := make([][]graph.NodeID, 100)
-	generateRRSets(g, whole, 0, 0, 42, 3)
+	generateRRSets(g, whole, 0, 0, 42, 3, nil, "")
 	first := make([][]graph.NodeID, 60)
-	generateRRSets(g, first, 0, 0, 42, 2)
+	generateRRSets(g, first, 0, 0, 42, 2, nil, "")
 	second := make([][]graph.NodeID, 40)
-	generateRRSets(g, second, 60, 0, 42, 5)
+	generateRRSets(g, second, 60, 0, 42, 5, nil, "")
 	stacked := append(first, second...)
 	for i := range whole {
 		if len(whole[i]) != len(stacked[i]) {

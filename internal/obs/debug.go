@@ -2,18 +2,20 @@ package obs
 
 import (
 	"context"
+	"expvar"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
-
-	// Register /debug/pprof/* on the default mux; /debug/vars comes from
-	// the expvar import in registry.go. Both are only reachable once
-	// StartDebugServer is called (the CLIs gate it behind -debug-addr).
-	_ "net/http/pprof"
 )
 
 // DebugServer is a running process-debug endpoint: expvar at /debug/vars
-// (including any published Registry) and pprof at /debug/pprof/. Unlike a
+// (including any published Registry), pprof at /debug/pprof/, and — when
+// constructed with a registry — Prometheus text exposition at
+// /metrics/prom. It serves a private mux with each handler registered
+// explicitly, so debug endpoints never leak into http.DefaultServeMux
+// (and thus into any unrelated server sharing the process), and two
+// debug servers can coexist without pattern collisions. Unlike a
 // fire-and-forget goroutine it is a real *http.Server handle, so owners
 // can drain it on shutdown (Shutdown) or tear it down immediately
 // (Close) instead of leaking the listener until process exit.
@@ -23,16 +25,32 @@ type DebugServer struct {
 }
 
 // StartDebugServer binds addr and serves the debug endpoints in a
-// background goroutine, returning the live server handle. The bound
-// address is available immediately via Addr (useful with ":0"), so
-// callers can print a working URL before any request arrives.
-func StartDebugServer(addr string) (*DebugServer, error) {
+// background goroutine, returning the live server handle. reg, when
+// non-nil, is additionally exposed at /metrics/prom in Prometheus text
+// format (nil skips that route). The bound address is available
+// immediately via Addr (useful with ":0"), so callers can print a
+// working URL before any request arrives.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	mux := http.NewServeMux()
+	// expvar.Handler serves the process-wide expvar namespace, which is
+	// where Registry.Publish lands; the /debug/vars path is the expvar
+	// convention, registered here privately instead of via the package's
+	// DefaultServeMux init side effect.
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("GET /metrics/prom", PromHandler(reg))
+	}
 	d := &DebugServer{
-		srv:  &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second},
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
 		addr: ln.Addr().String(),
 	}
 	go d.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Shutdown/Close

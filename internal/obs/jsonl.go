@@ -10,26 +10,41 @@ import (
 )
 
 // Record is the wire format of one journal line: the event kind, a
-// nanosecond wall-clock timestamp, and the event payload. Kind doubles
-// as the discriminator DecodeRecord uses to recover the concrete type.
+// nanosecond wall-clock timestamp, the trace ID of the request/run the
+// event belongs to (when the sink has one, see SetTrace), and the event
+// payload. Kind doubles as the discriminator DecodeRecord uses to
+// recover the concrete type.
 type Record struct {
-	Kind string          `json:"event"`
-	TS   int64           `json:"ts_unix_ns"`
-	Data json.RawMessage `json:"data"`
+	Kind  string          `json:"event"`
+	TS    int64           `json:"ts_unix_ns"`
+	Trace string          `json:"trace,omitempty"`
+	Data  json.RawMessage `json:"data"`
 }
 
 // JSONLSink is an Observer that appends one JSON line per event to a
 // writer — the run journal. It buffers internally; call Flush (or Close)
 // before reading the output. Safe for concurrent Emit.
 type JSONLSink struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	err error
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	trace string
+	err   error
 }
 
 // NewJSONLSink wraps w in a journal writer.
 func NewJSONLSink(w io.Writer) *JSONLSink {
 	return &JSONLSink{bw: bufio.NewWriter(w)}
+}
+
+// SetTrace stamps every subsequently written record with the given trace
+// ID — used by sinks whose whole journal belongs to one request/run/job
+// (the per-job journals in internal/serve, the CLI -journal file). Span
+// events additionally carry their own trace inside the payload, so a
+// merged multi-trace journal stays attributable.
+func (s *JSONLSink) SetTrace(id string) {
+	s.mu.Lock()
+	s.trace = id
+	s.mu.Unlock()
 }
 
 // Emit implements Observer. Marshal or write errors are sticky and
@@ -45,7 +60,7 @@ func (s *JSONLSink) Emit(e Event) {
 		s.err = err
 		return
 	}
-	line, err := json.Marshal(Record{Kind: e.EventKind(), TS: time.Now().UnixNano(), Data: data})
+	line, err := json.Marshal(Record{Kind: e.EventKind(), TS: time.Now().UnixNano(), Trace: s.trace, Data: data})
 	if err != nil {
 		s.err = err
 		return
@@ -86,6 +101,8 @@ func DecodeRecord(line []byte) (Event, time.Time, error) {
 		ev = &SpanStart{}
 	case SpanEnd{}.EventKind():
 		ev = &SpanEnd{}
+	case SpanSlow{}.EventKind():
+		ev = &SpanSlow{}
 	case IterationEnd{}.EventKind():
 		ev = &IterationEnd{}
 	case MCBatchDone{}.EventKind():

@@ -38,6 +38,15 @@ func BucketUpper(i int) float64 {
 	return math.Ldexp(1, i) // 2^i; bucket 0's bound is 2^0 = 1
 }
 
+// BucketLower returns the inclusive lower bound of bucket i (0 for the
+// underflow bucket); it panics on out-of-range indices.
+func BucketLower(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	return BucketUpper(i - 1)
+}
+
 // Counter is a monotonically increasing atomic counter.
 type Counter struct {
 	v atomic.Int64
@@ -149,20 +158,78 @@ func (h *Histogram) Buckets() [NumBuckets]uint64 {
 	return out
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation inside the log-scale bucket containing the target rank —
+// the same estimator Prometheus' histogram_quantile applies to
+// cumulative buckets. Accuracy is bounded by bucket width: exact at
+// bucket boundaries, within a factor of 2 anywhere (bucket i spans
+// [2^(i−1), 2^i)). Values in the overflow bucket report its lower bound.
+// An empty histogram reports 0; q is clamped to [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	return quantile(h.Buckets(), q)
+}
+
+// quantile is the bucket-interpolation shared by Quantile and Snapshot
+// (Snapshot reads the buckets once for all three percentiles).
+func quantile(buckets [NumBuckets]uint64, q float64) float64 {
+	var total uint64
+	for _, b := range buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	switch {
+	case q < 0 || math.IsNaN(q):
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1 // the lowest observation is the 0-quantile
+	}
+	var cum float64
+	for i, b := range buckets {
+		if b == 0 {
+			continue
+		}
+		next := cum + float64(b)
+		if rank <= next {
+			lo, hi := BucketLower(i), BucketUpper(i)
+			if math.IsInf(hi, 1) {
+				return lo // overflow bucket has no width to interpolate in
+			}
+			return lo + (hi-lo)*(rank-cum)/float64(b)
+		}
+		cum = next
+	}
+	// Unreachable: rank ≤ total ≤ cum after the loop.
+	return BucketLower(NumBuckets - 1)
+}
+
 // HistogramSnapshot is the JSON-friendly view Registry.Snapshot exports.
+// P50/P95/P99 are Quantile estimates (see Quantile for accuracy bounds).
 type HistogramSnapshot struct {
 	Count   uint64             `json:"count"`
 	Sum     float64            `json:"sum"`
 	Mean    float64            `json:"mean"`
+	P50     float64            `json:"p50"`
+	P95     float64            `json:"p95"`
+	P99     float64            `json:"p99"`
 	Buckets [NumBuckets]uint64 `json:"buckets"`
 }
 
 // Snapshot captures the histogram's current state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
+	buckets := h.Buckets()
 	return HistogramSnapshot{
 		Count:   h.Count(),
 		Sum:     h.Sum(),
 		Mean:    h.Mean(),
-		Buckets: h.Buckets(),
+		P50:     quantile(buckets, 0.50),
+		P95:     quantile(buckets, 0.95),
+		P99:     quantile(buckets, 0.99),
+		Buckets: buckets,
 	}
 }

@@ -77,10 +77,13 @@ func (m multi) Emit(e Event) {
 }
 
 // SpanStart marks the opening of a timed span. Parent is the ID of the
-// enclosing span (0 for roots), giving sinks the full nesting tree.
+// enclosing span (0 for roots), giving sinks the full nesting tree;
+// Trace ties the span to the request/run/job that caused it (see
+// trace.go).
 type SpanStart struct {
 	ID     uint64 `json:"id"`
 	Parent uint64 `json:"parent,omitempty"`
+	Trace  string `json:"trace,omitempty"`
 	Span   string `json:"span"`
 }
 
@@ -91,12 +94,30 @@ func (SpanStart) EventKind() string { return "span_start" }
 type SpanEnd struct {
 	ID      uint64        `json:"id"`
 	Parent  uint64        `json:"parent,omitempty"`
+	Trace   string        `json:"trace,omitempty"`
 	Span    string        `json:"span"`
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // EventKind implements Event.
 func (SpanEnd) EventKind() string { return "span_end" }
+
+// SpanSlow reports a span exceeding the slow-span watchdog's threshold —
+// either caught in flight by the watchdog's ticker (the span is still
+// open, Elapsed is its age so far) or at End. At most one SpanSlow is
+// emitted per span.
+type SpanSlow struct {
+	ID    uint64 `json:"id"`
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span"`
+	// Elapsed is how long the span had been open when it was flagged.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Threshold is the watchdog limit the span crossed.
+	Threshold time.Duration `json:"threshold_ns"`
+}
+
+// EventKind implements Event.
+func (SpanSlow) EventKind() string { return "span_slow" }
 
 // IterationEnd reports one DP-SGD iteration of Algorithm 2 (Module 3).
 type IterationEnd struct {

@@ -315,8 +315,13 @@ func TestRegistry(t *testing.T) {
 	if got := r.Counter("diffusion.simulations").Value(); got != 50 {
 		t.Fatalf("diffusion.simulations = %d, want 50", got)
 	}
-	if got := r.Counter("span.open").Value(); got != 0 {
-		t.Fatalf("span.open = %d, want 0", got)
+	// span.open is a gauge balancing starts against ends: one matched
+	// pair nets to zero, and the closed counter records the completion.
+	if got := r.Gauge("span.open").Value(); got != 0 {
+		t.Fatalf("span.open = %v, want 0", got)
+	}
+	if got := r.Counter("span.closed").Value(); got != 1 {
+		t.Fatalf("span.closed = %d, want 1", got)
 	}
 	if got := r.Histogram("train.grad_norm").Count(); got != 2 {
 		t.Fatalf("train.grad_norm count = %d, want 2", got)

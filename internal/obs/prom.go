@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition for Registry — stdlib only, like the
+// rest of the package. Registry metric names map to Prometheus series:
+//
+//   - dots (and any other character outside [a-zA-Z0-9_:]) become "_",
+//     so "serve.http.requests" exports as "serve_http_requests";
+//   - a name built with Labeled carries a Prometheus label set verbatim:
+//     `serve.http.requests{route="POST /v1/train",code="202"}` exports
+//     as one series of the serve_http_requests family;
+//   - histograms render as cumulative `_bucket` series on the package's
+//     log-scale bounds (le="1","2","4",…,"+Inf") plus `_sum`/`_count`.
+//
+// Output is sorted (families alphabetically, series within a family by
+// label set), so scrapes are diffable and tests can assert exact text.
+
+// Labeled builds a registry metric name carrying a Prometheus-style
+// label set: Labeled("serve.http.requests", "route", "POST /v1/train",
+// "code", "202") → `serve.http.requests{route="POST /v1/train",code="202"}`.
+// Values are escaped per the exposition format (backslash, quote,
+// newline). kv must hold alternating keys and values; keys must already
+// be valid Prometheus label names. Series of the same base name with
+// different labels export as one metric family.
+func Labeled(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.Grow(len(base) + 16*len(kv))
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		escapeLabelValue(&b, kv[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// splitLabels separates a registry name into its base and the raw label
+// body ("" when unlabeled): `a.b{x="1"}` → ("a.b", `x="1"`).
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// promName sanitizes a registry base name into a valid Prometheus
+// metric name.
+func promName(base string) string {
+	var b strings.Builder
+	b.Grow(len(base))
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		valid := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if valid {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value; Prometheus accepts Go's 'g' format
+// including "+Inf"/"NaN" spellings.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one exported sample line under a family.
+type promSeries struct {
+	labels string // raw label body, "" when unlabeled
+	value  string
+	hist   *HistogramSnapshot // non-nil for histogram series
+}
+
+// promFamily is a named group of series sharing one # TYPE line.
+type promFamily struct {
+	name   string
+	kind   string // "counter", "gauge", "histogram"
+	series []promSeries
+}
+
+// WritePrometheus renders every metric in the registry in the
+// Prometheus text exposition format (version 0.0.4). Families are
+// sorted by name; a family whose sanitized name collides with one of a
+// different kind is skipped rather than emitted twice.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := make(map[string]*promFamily, len(r.counters)+len(r.gauges)+len(r.hists))
+	add := func(name, kind string, s promSeries) {
+		base, labels := splitLabels(name)
+		s.labels = labels
+		pn := promName(base)
+		f, ok := families[pn]
+		if !ok {
+			f = &promFamily{name: pn, kind: kind}
+			families[pn] = f
+		}
+		if f.kind != kind {
+			return // sanitization collision across kinds; first one wins
+		}
+		f.series = append(f.series, s)
+	}
+	for name, c := range r.counters {
+		add(name, "counter", promSeries{value: strconv.FormatInt(c.Value(), 10)})
+	}
+	for name, g := range r.gauges {
+		add(name, "gauge", promSeries{value: promFloat(g.Value())})
+	}
+	for name, h := range r.hists {
+		snap := h.Snapshot()
+		add(name, "histogram", promSeries{hist: &snap})
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		f := families[n]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			if f.kind != "histogram" {
+				writeSample(&b, f.name, s.labels, "", s.value)
+				continue
+			}
+			var cum uint64
+			for i, c := range s.hist.Buckets {
+				cum += c
+				writeSample(&b, f.name+"_bucket", s.labels,
+					`le="`+promFloat(BucketUpper(i))+`"`, strconv.FormatUint(cum, 10))
+			}
+			writeSample(&b, f.name+"_sum", s.labels, "", promFloat(s.hist.Sum))
+			writeSample(&b, f.name+"_count", s.labels, "", strconv.FormatUint(s.hist.Count, 10))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample appends one exposition line; extra is an additional raw
+// label pair (the histogram le) merged after the series labels.
+func writeSample(b *strings.Builder, name, labels, extra, value string) {
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// PromHandler serves the registry in Prometheus text format — mount it
+// at /metrics/prom (the serve layer and the debug server both do).
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w) // client gone; nothing useful to do
+	})
+}

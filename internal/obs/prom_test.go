@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("a.b"); got != "a.b" {
+		t.Fatalf("Labeled no-kv = %q, want bare name", got)
+	}
+	got := Labeled("serve.http.requests", "route", "POST /v1/train", "code", "202")
+	want := `serve.http.requests{route="POST /v1/train",code="202"}`
+	if got != want {
+		t.Fatalf("Labeled = %q, want %q", got, want)
+	}
+	// Exposition-format escapes: backslash, quote, newline.
+	got = Labeled("m", "k", "a\\b\"c\nd")
+	want = `m{k="a\\b\"c\nd"}`
+	if got != want {
+		t.Fatalf("Labeled escape = %q, want %q", got, want)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"serve.http.requests": "serve_http_requests",
+		"already_fine":        "already_fine",
+		"with:colon":          "with:colon",
+		"9starts.bad":         "_starts_bad",
+		"unicode-é":           "unicode___", // per-byte sanitization: '-' plus the 2-byte rune
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.jobs.accepted").Add(3)
+	r.Gauge("train.epsilon_spent").Set(1.25)
+	r.Counter(Labeled("serve.http.requests", "route", "GET /healthz", "code", "200")).Add(7)
+	r.Counter(Labeled("serve.http.requests", "route", "POST /v1/train", "code", "202")).Inc()
+	h := r.Histogram(Labeled("serve.http.latency_us", "route", "GET /healthz"))
+	h.Observe(3)  // bucket 2: [2,4)
+	h.Observe(10) // bucket 4: [8,16)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE serve_jobs_accepted counter\n",
+		"serve_jobs_accepted 3\n",
+		"# TYPE train_epsilon_spent gauge\n",
+		"train_epsilon_spent 1.25\n",
+		"# TYPE serve_http_requests counter\n",
+		`serve_http_requests{route="GET /healthz",code="200"} 7` + "\n",
+		`serve_http_requests{route="POST /v1/train",code="202"} 1` + "\n",
+		"# TYPE serve_http_latency_us histogram\n",
+		// Cumulative buckets: nothing below 2, one below 4, two from 16 on.
+		`serve_http_latency_us_bucket{route="GET /healthz",le="2"} 0` + "\n",
+		`serve_http_latency_us_bucket{route="GET /healthz",le="4"} 1` + "\n",
+		`serve_http_latency_us_bucket{route="GET /healthz",le="16"} 2` + "\n",
+		`serve_http_latency_us_bucket{route="GET /healthz",le="+Inf"} 2` + "\n",
+		`serve_http_latency_us_sum{route="GET /healthz"} 13` + "\n",
+		`serve_http_latency_us_count{route="GET /healthz"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// Families sorted by name, one TYPE line per family.
+	var families []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families = append(families, strings.Fields(line)[2])
+		}
+	}
+	if len(families) != 4 {
+		t.Fatalf("families = %v, want 4", families)
+	}
+	for i := 1; i < len(families); i++ {
+		if families[i-1] >= families[i] {
+			t.Fatalf("families not sorted: %v", families)
+		}
+	}
+
+	// Deterministic output: a second render is byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("two renders of an unchanged registry differ")
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x.y").Inc()
+	rec := httptest.NewRecorder()
+	PromHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics/prom", nil))
+	if got := rec.Header().Get("Content-Type"); !strings.HasPrefix(got, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text exposition 0.0.4", got)
+	}
+	if !strings.Contains(rec.Body.String(), "x_y 1\n") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile(0.5) = %v, want 0", got)
+	}
+
+	// Constant distribution: 100 samples of 3.0 all land in bucket 2
+	// ([2,4)); interpolation stays inside that bucket for every q.
+	var constant Histogram
+	for i := 0; i < 100; i++ {
+		constant.Observe(3.0)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := constant.Quantile(q)
+		if got < 2 || got > 4 {
+			t.Errorf("constant Quantile(%v) = %v, want within [2,4)", q, got)
+		}
+	}
+
+	// The bucket holding the target rank is found correctly: 90 samples
+	// in [2,4), 10 in [256,512). p50 reads the low bucket, p99 the high.
+	var skewed Histogram
+	for i := 0; i < 90; i++ {
+		skewed.Observe(3)
+	}
+	for i := 0; i < 10; i++ {
+		skewed.Observe(300)
+	}
+	if got := skewed.Quantile(0.5); got < 2 || got >= 4 {
+		t.Errorf("skewed p50 = %v, want in [2,4)", got)
+	}
+	if got := skewed.Quantile(0.99); got < 256 || got >= 512 {
+		t.Errorf("skewed p99 = %v, want in [256,512)", got)
+	}
+
+	// Monotonicity across a spread distribution.
+	var uniform Histogram
+	for v := 1; v <= 1000; v++ {
+		uniform.Observe(float64(v))
+	}
+	p50, p95, p99 := uniform.Quantile(0.50), uniform.Quantile(0.95), uniform.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	// Log-bucket accuracy bound: within a factor of 2 of the true value.
+	if p50 < 250 || p50 > 1000 {
+		t.Errorf("uniform p50 = %v, want within 2x of 500", p50)
+	}
+
+	// Overflow bucket reports its lower bound, not +Inf.
+	var over Histogram
+	over.Observe(math.Ldexp(1, 30)) // far past the last finite bound
+	got := over.Quantile(0.5)
+	if math.IsInf(got, 1) || got != BucketLower(NumBuckets-1) {
+		t.Errorf("overflow Quantile = %v, want overflow lower bound %v", got, BucketLower(NumBuckets-1))
+	}
+
+	// Out-of-range q clamps instead of panicking.
+	if got := uniform.Quantile(-1); got != uniform.Quantile(0) {
+		t.Errorf("Quantile(-1) = %v, want clamp to Quantile(0) = %v", got, uniform.Quantile(0))
+	}
+	if got := uniform.Quantile(2); got != uniform.Quantile(1) {
+		t.Errorf("Quantile(2) = %v, want clamp to Quantile(1) = %v", got, uniform.Quantile(1))
+	}
+}
+
+func TestSnapshotPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	snap := h.Snapshot()
+	if snap.P50 != h.Quantile(0.50) || snap.P95 != h.Quantile(0.95) || snap.P99 != h.Quantile(0.99) {
+		t.Fatalf("snapshot percentiles %v/%v/%v disagree with Quantile", snap.P50, snap.P95, snap.P99)
+	}
+	if snap.P50 < 64 || snap.P50 >= 128 {
+		t.Fatalf("P50 = %v, want inside the [64,128) bucket", snap.P50)
+	}
+}

@@ -71,11 +71,14 @@ func (r *Registry) Histogram(name string) *Histogram {
 func (r *Registry) Emit(e Event) {
 	switch ev := e.(type) {
 	case SpanStart:
-		r.Counter("span.open").Inc()
+		r.Gauge("span.open").Inc()
 	case SpanEnd:
-		r.Counter("span.open").Add(-1)
+		r.Gauge("span.open").Dec()
 		r.Counter("span.closed").Inc()
 		r.Histogram("span." + ev.Span + ".us").Observe(float64(ev.Elapsed) / float64(time.Microsecond))
+	case SpanSlow:
+		r.Counter("span.slow").Inc()
+		r.Histogram("span.slow.us").Observe(float64(ev.Elapsed) / float64(time.Microsecond))
 	case IterationEnd:
 		r.Counter("train.iterations").Inc()
 		r.Gauge("train.loss").Set(ev.Loss)

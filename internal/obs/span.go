@@ -11,35 +11,48 @@ var spanSeq atomic.Uint64
 
 // Span is a running timed section. Spans nest explicitly via Child, so
 // concurrent children of one parent are well-defined without any
-// goroutine-local state. A nil *Span (what StartSpan returns for a nil
-// observer) is a valid no-op receiver for Child and End, which keeps
-// instrumentation sites branch-free.
+// goroutine-local state. Every span belongs to a trace: roots mint (or
+// inherit via StartSpanCtx) a trace ID, children share their parent's,
+// and both SpanStart and SpanEnd events carry it. A nil *Span (what
+// StartSpan returns for a nil observer) is a valid no-op receiver for
+// Child, End, Trace, and Observer, which keeps instrumentation sites
+// branch-free.
 type Span struct {
 	o      Observer
 	id     uint64
 	parent uint64
+	trace  string
 	name   string
 	start  time.Time
 }
 
-// StartSpan opens a root span on o, emitting SpanStart. Returns nil
-// (a no-op span) when o is nil.
+// StartSpan opens a root span on o in a freshly minted trace, emitting
+// SpanStart. Returns nil (a no-op span) when o is nil. To join an
+// existing trace, use StartSpanCtx.
 func StartSpan(o Observer, name string) *Span {
 	if o == nil {
 		return nil
 	}
-	s := &Span{o: o, id: spanSeq.Add(1), name: name, start: time.Now()}
-	o.Emit(SpanStart{ID: s.id, Span: name})
+	return startRoot(o, name, "")
+}
+
+// startRoot opens a root span in the given trace ("" mints a new one).
+func startRoot(o Observer, name, trace string) *Span {
+	if trace == "" {
+		trace = NewTraceID()
+	}
+	s := &Span{o: o, id: spanSeq.Add(1), trace: trace, name: name, start: time.Now()}
+	o.Emit(SpanStart{ID: s.id, Trace: trace, Span: name})
 	return s
 }
 
-// Child opens a nested span under s.
+// Child opens a nested span under s, in s's trace.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{o: s.o, id: spanSeq.Add(1), parent: s.id, name: name, start: time.Now()}
-	s.o.Emit(SpanStart{ID: c.id, Parent: s.id, Span: name})
+	c := &Span{o: s.o, id: spanSeq.Add(1), parent: s.id, trace: s.trace, name: name, start: time.Now()}
+	s.o.Emit(SpanStart{ID: c.id, Parent: s.id, Trace: s.trace, Span: name})
 	return c
 }
 
@@ -49,5 +62,23 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	s.o.Emit(SpanEnd{ID: s.id, Parent: s.parent, Span: s.name, Elapsed: time.Since(s.start)})
+	s.o.Emit(SpanEnd{ID: s.id, Parent: s.parent, Trace: s.trace, Span: s.name, Elapsed: time.Since(s.start)})
+}
+
+// Trace returns the span's trace ID ("" for a nil span).
+func (s *Span) Trace() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// Observer returns the observer the span emits to (nil for a nil span),
+// so helpers holding only a span — parallel.ForObserved, for example —
+// can emit sibling events into the same stream.
+func (s *Span) Observer() Observer {
+	if s == nil {
+		return nil
+	}
+	return s.o
 }

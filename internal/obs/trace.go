@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Trace context. A trace is the set of spans (and journal records)
+// produced on behalf of one logical request: one HTTP call into privimd,
+// one CLI run, one async training job. The trace ID is minted at the
+// boundary (HTTP middleware, cliutil.Stack, the job runner), carried
+// through the pipeline via context.Context, and stamped on every
+// SpanStart/SpanEnd event and every journal record — so a journal line
+// or a /metrics sample can always be tied back to the request that
+// caused it, across the HTTP → job → training → kernel boundary.
+
+// spanKey and traceKey are the private context keys; distinct types keep
+// them collision-proof against other packages' context values.
+type (
+	spanKey  struct{}
+	traceKey struct{}
+)
+
+// NewTraceID mints a fresh 16-hex-char trace ID. IDs are random (not
+// sequential) so traces from different processes — a CLI run and the
+// daemon jobs it triggers — never collide in a shared journal store.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the OS entropy source is gone; fall
+		// back to the span sequence so tracing degrades instead of dying.
+		v := spanSeq.Add(1)
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether id is acceptable as a caller-supplied
+// trace ID (an X-Privim-Trace request header): 1–64 characters drawn
+// from [0-9a-zA-Z_-]. IDs minted by NewTraceID always pass.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ContextWithSpan returns ctx carrying s as the current span, so
+// downstream StartSpanCtx calls nest under it. A nil span returns ctx
+// unchanged (keeping the unobserved path allocation-free).
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the current span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// ContextWithTrace returns ctx carrying a bare trace ID — for
+// boundaries that have a trace but no live parent span (an HTTP
+// middleware before any handler span, a recovered job resuming after
+// the submitting request is long gone). Empty id returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFromContext returns the trace ID governing ctx: the current
+// span's trace when one is present, the bare trace ID otherwise, or "".
+func TraceFromContext(ctx context.Context) string {
+	if s := SpanFromContext(ctx); s != nil {
+		return s.Trace()
+	}
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// StartSpanCtx opens a span positioned by ctx: a child of the context
+// span when one is present (inheriting its trace and emitting to its
+// observer), otherwise a root span on o in the context trace (minting a
+// fresh trace ID when ctx carries none). Returns nil — a no-op span —
+// when there is neither a context span nor a non-nil observer, so the
+// unobserved path stays allocation-free.
+func StartSpanCtx(ctx context.Context, o Observer, name string) *Span {
+	if parent := SpanFromContext(ctx); parent != nil {
+		return parent.Child(name)
+	}
+	if o == nil {
+		return nil
+	}
+	return startRoot(o, name, TraceFromContext(ctx))
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowSpanWatchdog is an Observer middleware: it forwards every event to
+// the next observer unchanged and additionally emits a SpanSlow event
+// the first time a span exceeds the configured threshold. Spans are
+// caught two ways: a background ticker flags spans still open past the
+// threshold (so a hung kernel is reported while it hangs, not after),
+// and SpanEnd flags spans that crossed the threshold between ticks. At
+// most one SpanSlow fires per span.
+type SlowSpanWatchdog struct {
+	threshold time.Duration
+	next      Observer
+
+	mu   sync.Mutex
+	open map[uint64]*openSpan
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type openSpan struct {
+	name     string
+	trace    string
+	start    time.Time
+	reported bool
+}
+
+// NewSlowSpanWatchdog wraps next with a watchdog at the given threshold
+// and starts its background ticker (scanning at threshold/2, floored at
+// 10ms). Call Close when done to stop the ticker; events forwarded after
+// Close still pass through, but in-flight spans are no longer scanned.
+func NewSlowSpanWatchdog(threshold time.Duration, next Observer) *SlowSpanWatchdog {
+	if threshold <= 0 {
+		threshold = time.Second
+	}
+	w := &SlowSpanWatchdog{
+		threshold: threshold,
+		next:      next,
+		open:      make(map[uint64]*openSpan),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	tick := threshold / 2
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	go w.scanLoop(tick)
+	return w
+}
+
+// Emit implements Observer.
+func (w *SlowSpanWatchdog) Emit(e Event) {
+	w.next.Emit(e)
+	switch ev := e.(type) {
+	case SpanStart:
+		w.mu.Lock()
+		w.open[ev.ID] = &openSpan{name: ev.Span, trace: ev.Trace, start: time.Now()}
+		w.mu.Unlock()
+	case SpanEnd:
+		w.mu.Lock()
+		s, ok := w.open[ev.ID]
+		delete(w.open, ev.ID)
+		late := ok && !s.reported && ev.Elapsed > w.threshold
+		w.mu.Unlock()
+		if late {
+			w.next.Emit(SpanSlow{ID: ev.ID, Trace: ev.Trace, Span: ev.Span,
+				Elapsed: ev.Elapsed, Threshold: w.threshold})
+		}
+	}
+}
+
+func (w *SlowSpanWatchdog) scanLoop(tick time.Duration) {
+	defer close(w.done)
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case now := <-t.C:
+			var slow []SpanSlow
+			w.mu.Lock()
+			for id, s := range w.open {
+				if age := now.Sub(s.start); !s.reported && age > w.threshold {
+					s.reported = true
+					slow = append(slow, SpanSlow{ID: id, Trace: s.trace, Span: s.name,
+						Elapsed: age, Threshold: w.threshold})
+				}
+			}
+			w.mu.Unlock()
+			// Emit outside the lock: the next observer may be a registry or
+			// a journal sink with its own locking.
+			for _, ev := range slow {
+				w.next.Emit(ev)
+			}
+		}
+	}
+}
+
+// Close stops the background ticker and waits for it to exit.
+func (w *SlowSpanWatchdog) Close() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+}

@@ -1,0 +1,33 @@
+package parallel
+
+import (
+	"time"
+
+	"privim/internal/obs"
+)
+
+// ForObserved is For wrapped in observability: the fan-out runs inside a
+// child span of parent named "parallel.<site>" and emits one
+// obs.ParallelFor event to the parent's observer, so kernel-level
+// concurrency shows up in traces and metrics without every call site
+// hand-rolling the bookkeeping. A nil parent degrades to plain For —
+// zero events, zero allocations — preserving the nil-observer contract
+// of the instrumented pipelines.
+func ForObserved(parent *obs.Span, site string, workers, n, grain int, fn func(worker, lo, hi int)) Stats {
+	if parent == nil {
+		return For(workers, n, grain, fn)
+	}
+	sp := parent.Child("parallel." + site)
+	start := time.Now()
+	st := For(workers, n, grain, fn)
+	sp.End()
+	obs.Emit(parent.Observer(), obs.ParallelFor{
+		Site:      site,
+		Workers:   st.Workers,
+		Tasks:     n,
+		Chunks:    st.Chunks,
+		Imbalance: st.Imbalance(),
+		Elapsed:   time.Since(start),
+	})
+	return st
+}

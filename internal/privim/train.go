@@ -1,6 +1,7 @@
 package privim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -64,6 +65,16 @@ type Result struct {
 // graph g: subgraph extraction (Module 1), privacy accounting (Module 2),
 // and DP-GNN training (Module 3).
 func Train(g *graph.Graph, cfg Config) (*Result, error) {
+	return TrainContext(context.Background(), g, cfg)
+}
+
+// TrainContext is Train under a caller context: the run's span tree
+// roots under the context's span (the serving layer's per-job span) and
+// inherits the context's trace ID, so every event the run emits is
+// attributable to the request that caused it. The context carries
+// observability identity only — training has no preemption points, so
+// cancellation is not consulted.
+func TrainContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	cfg, err := cfg.normalize(g.NumNodes())
 	if err != nil {
 		return nil, err
@@ -74,7 +85,7 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 	src := newCountingSource(cfg.Seed)
 	rng := rand.New(src)
 	o := cfg.Observer
-	root := obs.StartSpan(o, "train")
+	root := obs.StartSpanCtx(ctx, o, "train")
 
 	// Module 1: subgraph extraction.
 	m1 := root.Child("module1.extract")
@@ -191,7 +202,10 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 			root.End()
 			return nil, err
 		}
-		if st := ck.resume(cfg, model.Params, opt, src); st != nil {
+		rs := m3.Child("checkpoint.resume")
+		st := ck.resume(cfg, model.Params, opt, src)
+		rs.End()
+		if st != nil {
 			startIter = st.iter
 			res.LossHistory = append(res.LossHistory, st.loss...)
 			res.NoisyLossHistory = append(res.NoisyLossHistory, st.noisy...)
@@ -297,7 +311,10 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 		// after the observer emit keeps the journal and the checkpoint in
 		// the same order a resumed run reproduces them.
 		if ck != nil && (t+1)%cfg.CheckpointEvery == 0 && t+1 < cfg.Iterations {
-			if err := ck.save(t+1, src.Draws(), model.Params, opt, res); err != nil {
+			cs := m3.Child("checkpoint.save")
+			err := ck.save(t+1, src.Draws(), model.Params, opt, res)
+			cs.End()
+			if err != nil {
 				m3.End()
 				root.End()
 				return nil, err

@@ -12,6 +12,7 @@ import (
 	"privim/internal/gnn"
 	"privim/internal/graph"
 	"privim/internal/im"
+	"privim/internal/obs"
 	"privim/internal/tensor"
 )
 
@@ -272,7 +273,9 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	status, err := s.jobs.Submit(req, ge.g)
+	// The withTrace middleware put the request's trace ID in the context;
+	// storing it on the job ties the async work back to this request.
+	status, err := s.jobs.Submit(req, ge.g, obs.TraceFromContext(r.Context()))
 	switch {
 	case errors.Is(err, errQueueFull):
 		httpError(w, http.StatusTooManyRequests, "%v", err)

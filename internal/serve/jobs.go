@@ -64,6 +64,11 @@ type JobStatus struct {
 	// Journal is the per-job JSONL event journal path (when the server
 	// runs with a journal directory).
 	Journal string `json:"journal,omitempty"`
+	// Trace is the trace ID of the request that submitted the job — the
+	// X-Privim-Trace value the submitter saw. Every span and journal
+	// record the job produces carries it, so one ID follows the work from
+	// HTTP request through the async hand-off to the training pipeline.
+	Trace string `json:"trace,omitempty"`
 
 	// Training summary, populated on success.
 	EpsilonSpent float64 `json:"epsilon_spent,omitempty"`
@@ -159,7 +164,9 @@ func newJobManager(opts jobManagerOptions) *jobManager {
 
 // Submit enqueues a training job over g (already resolved from
 // req.Graph, so a later graph delete cannot invalidate a queued job).
-func (m *jobManager) Submit(req TrainRequest, g *graph.Graph) (JobStatus, error) {
+// trace is the submitting request's trace ID ("" mints one when the job
+// runs), carried on the job status and into its journal and spans.
+func (m *jobManager) Submit(req TrainRequest, g *graph.Graph, trace string) (JobStatus, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -178,6 +185,7 @@ func (m *jobManager) Submit(req TrainRequest, g *graph.Graph) (JobStatus, error)
 			ID:      fmt.Sprintf("job-%04d", m.nextID),
 			State:   JobQueued,
 			Graph:   req.Graph,
+			Trace:   trace,
 			Created: time.Now(),
 		},
 		req: req,
@@ -304,7 +312,12 @@ func (m *jobManager) run(j *job) {
 	}
 	j.status.State = JobRunning
 	j.status.Started = time.Now()
-	req, g, id := j.req, j.g, j.status.ID
+	if j.status.Trace == "" {
+		// Jobs recovered from a pre-trace jobs.jsonl have no ID; mint one
+		// so their journals are still attributable end to end.
+		j.status.Trace = obs.NewTraceID()
+	}
+	req, g, id, trace := j.req, j.g, j.status.ID, j.status.Trace
 	m.persistLocked(j)
 	m.mu.Unlock()
 	m.metrics.Gauge("serve.jobs.running").Inc()
@@ -323,6 +336,7 @@ func (m *jobManager) run(j *job) {
 		} else {
 			journalFile = f
 			sink = obs.NewJSONLSink(f)
+			sink.SetTrace(trace)
 			observer = obs.Multi(observer, sink)
 		}
 	}
@@ -351,8 +365,18 @@ func (m *jobManager) run(j *job) {
 		cfg.CheckpointEvery = m.checkpointEvery
 	}
 
+	// The submitting request's context is long gone by the time a worker
+	// picks the job up; rebuild one carrying the stored trace ID and root
+	// the job's span tree in it, so every span in the per-job journal —
+	// the serve.job root, train, its modules, the parallel kernels —
+	// resolves to one tree stamped with the submitter's trace.
+	ctx := obs.ContextWithTrace(context.Background(), trace)
+	jobSpan := obs.StartSpanCtx(ctx, observer, "serve.job")
+	ctx = obs.ContextWithSpan(ctx, jobSpan)
+
 	start := time.Now()
-	res, err := core.Train(g, cfg)
+	res, err := core.TrainContext(ctx, g, cfg)
+	jobSpan.End()
 	m.metrics.Histogram("serve.jobs.train_us").Observe(float64(time.Since(start).Microseconds()))
 
 	if sink != nil {

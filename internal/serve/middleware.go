@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"privim/internal/obs"
+)
+
+// TraceHeader is the HTTP header carrying the request's trace ID. The
+// server accepts a valid client-supplied value (so a caller can stitch
+// its own ID through the daemon) and mints one otherwise; either way the
+// ID is echoed in the response, stored on any training job the request
+// spawns, and stamped on every span the request produces.
+const TraceHeader = "X-Privim-Trace"
+
+// withTrace resolves the request's trace ID, echoes it in the response
+// header, and threads it through the request context for handlers and
+// spans downstream.
+func withTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get(TraceHeader)
+		if !obs.ValidTraceID(trace) {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set(TraceHeader, trace)
+		next.ServeHTTP(w, r.WithContext(obs.ContextWithTrace(r.Context(), trace)))
+	})
+}
+
+// statusWriter captures the response status code for RED metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+// instrument wraps h with per-route RED metrics: one
+// serve.http.requests{route,code} counter series per observed status
+// code and a per-route serve.http.latency_us{route} histogram. route is
+// the mux pattern the handler is registered under, so the metric
+// cardinality is the route table, not the URL space. The wrapper sits
+// outside admission control and timeouts, so 429s and 503s are counted
+// and timed like any other response.
+func (s *Server) instrument(route string, h http.Handler) http.Handler {
+	latency := s.reg.Histogram(obs.Labeled("serve.http.latency_us", "route", route))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK // handler wrote nothing: implicit 200
+		}
+		s.reg.Counter(obs.Labeled("serve.http.requests",
+			"route", route, "code", strconv.Itoa(sw.code))).Inc()
+		latency.Observe(float64(time.Since(start).Microseconds()))
+	})
+}

@@ -172,9 +172,10 @@ func (s *Server) StoreGraph(name string, data []byte) (GraphInfo, error) {
 	return s.graphs.Put(name, g)
 }
 
-// Handler returns the full HTTP API. The outermost layer records request
-// count and latency; admission control and per-request timeouts apply
-// per route group underneath.
+// Handler returns the full HTTP API. The outermost layer resolves the
+// request's trace ID (X-Privim-Trace); each route records its own RED
+// metrics; admission control and per-request timeouts apply per route
+// group underneath.
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // Drain stops accepting training jobs, waits for queued and running
@@ -200,37 +201,40 @@ func (s *Server) buildRoutes() {
 		return http.TimeoutHandler(h, s.opts.QueryTimeout, `{"error":"request timed out"}`)
 	}
 	hf := func(f http.HandlerFunc) http.Handler { return f }
+	// handle registers pattern with per-route RED metrics labeled by the
+	// pattern itself, outside admission/timeout so 429s and 503s count.
+	handle := func(pattern string, h http.Handler) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
 
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	handle("GET /healthz", hf(s.handleHealth))
+	handle("GET /metrics", hf(s.handleMetrics))
+	handle("GET /metrics/prom", obs.PromHandler(s.reg))
 
-	mux.Handle("GET /v1/models", admit(hf(s.handleModelList)))
-	mux.Handle("POST /v1/models/{name}", admit(hf(s.handleModelPut)))
-	mux.Handle("GET /v1/models/{name}", admit(hf(s.handleModelGet)))
-	mux.Handle("DELETE /v1/models/{name}", admit(hf(s.handleModelDelete)))
+	handle("GET /v1/models", admit(hf(s.handleModelList)))
+	handle("POST /v1/models/{name}", admit(hf(s.handleModelPut)))
+	handle("GET /v1/models/{name}", admit(hf(s.handleModelGet)))
+	handle("DELETE /v1/models/{name}", admit(hf(s.handleModelDelete)))
 
-	mux.Handle("GET /v1/graphs", admit(hf(s.handleGraphList)))
-	mux.Handle("POST /v1/graphs/{name}", admit(hf(s.handleGraphPut)))
-	mux.Handle("GET /v1/graphs/{name}", admit(hf(s.handleGraphGet)))
-	mux.Handle("DELETE /v1/graphs/{name}", admit(hf(s.handleGraphDelete)))
+	handle("GET /v1/graphs", admit(hf(s.handleGraphList)))
+	handle("POST /v1/graphs/{name}", admit(hf(s.handleGraphPut)))
+	handle("GET /v1/graphs/{name}", admit(hf(s.handleGraphGet)))
+	handle("DELETE /v1/graphs/{name}", admit(hf(s.handleGraphDelete)))
 
-	mux.Handle("POST /v1/score", admit(timeout(hf(s.handleScore))))
-	mux.Handle("POST /v1/seeds", admit(timeout(hf(s.handleSeeds))))
+	handle("POST /v1/score", admit(timeout(hf(s.handleScore))))
+	handle("POST /v1/seeds", admit(timeout(hf(s.handleSeeds))))
 
-	mux.Handle("POST /v1/train", admit(timeout(hf(s.handleTrain))))
-	mux.Handle("GET /v1/jobs", admit(hf(s.handleJobList)))
-	mux.Handle("GET /v1/jobs/{id}", admit(hf(s.handleJobGet)))
-	mux.Handle("DELETE /v1/jobs/{id}", admit(hf(s.handleJobCancel)))
+	handle("POST /v1/train", admit(timeout(hf(s.handleTrain))))
+	handle("GET /v1/jobs", admit(hf(s.handleJobList)))
+	handle("GET /v1/jobs/{id}", admit(hf(s.handleJobGet)))
+	handle("DELETE /v1/jobs/{id}", admit(hf(s.handleJobCancel)))
+
+	// Unmatched paths still get counted (route="unmatched") instead of
+	// vanishing into the mux's default 404.
+	mux.Handle("/", s.instrument("unmatched", http.NotFoundHandler()))
 
 	s.mux = mux
-	requests := s.reg.Counter("serve.http.requests")
-	latency := s.reg.Histogram("serve.http.latency_us")
-	s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		requests.Inc()
-		start := time.Now()
-		mux.ServeHTTP(w, r)
-		latency.Observe(float64(time.Since(start).Microseconds()))
-	})
+	s.handler = withTrace(mux)
 }
 
 // writeJSON writes v as a JSON response with the given status.

@@ -1,0 +1,250 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"privim/internal/obs"
+	"privim/internal/serve"
+)
+
+// postTrain uploads a graph and submits a tiny training job, returning
+// the HTTP response and the decoded job status.
+func postTrain(t *testing.T, ts *httptest.Server, traceHeader string) (*http.Response, serve.JobStatus) {
+	t.Helper()
+	c := ts.Client()
+	g := testGraph(t)
+	if code := doJSON(t, c, http.MethodPost, ts.URL+"/v1/graphs/g1", edgeListBytes(t, g), nil); code != 201 {
+		t.Fatalf("graph upload = %d", code)
+	}
+	body := `{"graph":"g1","model_name":"traced","mode":"non-private","iterations":2,"subgraph_size":8,"hidden_dim":4,"layers":2,"batch_size":4,"seed":1}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/train", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceHeader != "" {
+		req.Header.Set(serve.TraceHeader, traceHeader)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("train submit = %d", resp.StatusCode)
+	}
+	var job serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return resp, job
+}
+
+func waitForJob(t *testing.T, ts *httptest.Server, id string) serve.JobStatus {
+	t.Helper()
+	var job serve.JobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := doJSON(t, ts.Client(), http.MethodGet, ts.URL+"/v1/jobs/"+id, nil, &job); code != 200 {
+			t.Fatalf("job poll = %d", code)
+		}
+		switch job.State {
+		case serve.JobDone:
+			return job
+		case serve.JobFailed:
+			t.Fatalf("job failed: %s", job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", job.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestTraceFlowsThroughTrainJob is the tracing acceptance test: the
+// trace ID a client supplies on POST /v1/train comes back in the
+// X-Privim-Trace response header, shows up on the job status, is
+// stamped on every record of the per-job journal, and the journal's
+// span records form a single tree rooted at the serve.job span.
+func TestTraceFlowsThroughTrainJob(t *testing.T) {
+	s := newTestServer(t, serve.Options{TrainWorkers: 1, JournalDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const trace = "e2e-trace-0001"
+	resp, job := postTrain(t, ts, trace)
+	if got := resp.Header.Get(serve.TraceHeader); got != trace {
+		t.Fatalf("response %s = %q, want the client-supplied %q", serve.TraceHeader, got, trace)
+	}
+	if job.Trace != trace {
+		t.Fatalf("submitted job trace = %q, want %q", job.Trace, trace)
+	}
+
+	job = waitForJob(t, ts, job.ID)
+	if job.Trace != trace {
+		t.Fatalf("finished job trace = %q, want %q", job.Trace, trace)
+	}
+	if job.Journal == "" {
+		t.Fatal("job has no journal")
+	}
+
+	data, err := os.ReadFile(job.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		spanIDs  = map[uint64]bool{}
+		starts   []*obs.SpanStart
+		roots    int
+		rootName string
+		records  int
+	)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		records++
+		var rec obs.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("journal line %d: %v", records, err)
+		}
+		if rec.Trace != trace {
+			t.Fatalf("journal record %d (%s) trace = %q, want %q", records, rec.Kind, rec.Trace, trace)
+		}
+		ev, _, err := obs.DecodeRecord(line)
+		if err != nil {
+			t.Fatalf("journal record %d: %v", records, err)
+		}
+		if start, ok := ev.(*obs.SpanStart); ok {
+			spanIDs[start.ID] = true
+			starts = append(starts, start)
+			if start.Trace != trace {
+				t.Fatalf("span %q trace = %q, want %q", start.Span, start.Trace, trace)
+			}
+			if start.Parent == 0 {
+				roots++
+				rootName = start.Span
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if records == 0 || len(starts) == 0 {
+		t.Fatalf("journal has %d records, %d spans; want both nonzero", records, len(starts))
+	}
+	// Single rooted tree: exactly one parentless span — the job wrapper —
+	// and every child's parent was started earlier in the same journal.
+	if roots != 1 || rootName != "serve.job" {
+		t.Fatalf("journal has %d root spans (last %q), want exactly one serve.job root", roots, rootName)
+	}
+	for _, start := range starts {
+		if start.Parent != 0 && !spanIDs[start.Parent] {
+			t.Fatalf("span %q (id %d) has unknown parent %d", start.Span, start.ID, start.Parent)
+		}
+	}
+	// The training pipeline actually ran under the trace, not just the
+	// wrapper: look for the train root among the spans.
+	var sawTrain bool
+	for _, start := range starts {
+		if start.Span == "train" {
+			sawTrain = true
+		}
+	}
+	if !sawTrain {
+		t.Fatal("journal has no train span under the job root")
+	}
+}
+
+// TestTraceMintedWhenAbsent: a request without X-Privim-Trace gets a
+// server-minted ID, echoed in the response header and on the job.
+func TestTraceMintedWhenAbsent(t *testing.T) {
+	s := newTestServer(t, serve.Options{TrainWorkers: 1, JournalDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, job := postTrain(t, ts, "")
+	minted := resp.Header.Get(serve.TraceHeader)
+	if !obs.ValidTraceID(minted) {
+		t.Fatalf("minted trace %q is not a valid trace ID", minted)
+	}
+	if job.Trace != minted {
+		t.Fatalf("job trace = %q, want minted %q", job.Trace, minted)
+	}
+}
+
+// TestTraceInvalidHeaderReplaced: garbage in X-Privim-Trace is not
+// echoed back (header-injection guard) — the server mints instead.
+func TestTraceInvalidHeaderReplaced(t *testing.T) {
+	s := newTestServer(t, serve.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(serve.TraceHeader, "bad trace!!")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := resp.Header.Get(serve.TraceHeader)
+	if got == "bad trace!!" || !obs.ValidTraceID(got) {
+		t.Fatalf("response trace = %q, want a minted valid ID", got)
+	}
+}
+
+// TestPromEndpointPerRoute: after traffic, GET /metrics/prom exposes
+// per-route RED series — request counts labeled by route and code, and
+// latency histogram buckets labeled by route.
+func TestPromEndpointPerRoute(t *testing.T) {
+	s := newTestServer(t, serve.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	if code := doJSON(t, c, http.MethodGet, ts.URL+"/healthz", nil, nil); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code := doJSON(t, c, http.MethodGet, ts.URL+"/no/such/route", nil, nil); code != 404 {
+		t.Fatalf("unmatched = %d, want 404", code)
+	}
+
+	resp, err := c.Get(ts.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	var body strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		body.WriteString(sc.Text())
+		body.WriteByte('\n')
+	}
+	out := body.String()
+	for _, want := range []string{
+		`serve_http_requests{route="GET /healthz",code="200"} 1`,
+		`serve_http_requests{route="unmatched",code="404"} 1`,
+		`serve_http_latency_us_bucket{route="GET /healthz",le="+Inf"} 1`,
+		`serve_http_latency_us_count{route="GET /healthz"} 1`,
+		"# TYPE serve_http_latency_us histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics/prom missing %q\n---\n%s", want, out)
+		}
+	}
+}

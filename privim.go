@@ -28,6 +28,7 @@
 package privim
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -133,6 +134,14 @@ const (
 // Train runs the configured method's full pipeline on the training graph.
 func Train(g *Graph, cfg Config) (*Result, error) { return core.Train(g, cfg) }
 
+// TrainContext is Train under a caller context: the run's span tree
+// roots under the context's span and inherits the context's trace ID
+// (see ContextWithTrace), so every event is attributable to the request
+// that caused it.
+func TrainContext(ctx context.Context, g *Graph, cfg Config) (*Result, error) {
+	return core.TrainContext(ctx, g, cfg)
+}
+
 // DefaultIndicator returns the paper's fitted indicator parameters.
 func DefaultIndicator() Indicator { return core.DefaultIndicator() }
 
@@ -182,9 +191,11 @@ type (
 	ObserverFunc = obs.ObserverFunc
 	// Event is one typed pipeline occurrence.
 	Event = obs.Event
-	// SpanStart / SpanEnd delimit timed pipeline sections.
+	// SpanStart / SpanEnd delimit timed pipeline sections; SpanSlow flags
+	// a span exceeding the slow-span watchdog threshold.
 	SpanStart = obs.SpanStart
 	SpanEnd   = obs.SpanEnd
+	SpanSlow  = obs.SpanSlow
 	// IterationEnd reports one DP-SGD iteration (loss, grad norm, clip
 	// fraction, ε spent so far).
 	IterationEnd = obs.IterationEnd
@@ -230,8 +241,34 @@ type DebugServer = obs.DebugServer
 
 // StartDebugServer serves expvar (/debug/vars) and pprof (/debug/pprof/)
 // on addr in the background, returning the live server handle; call
-// Shutdown (graceful) or Close (immediate) when done with it.
-func StartDebugServer(addr string) (*DebugServer, error) { return obs.StartDebugServer(addr) }
+// Shutdown (graceful) or Close (immediate) when done with it. To also
+// expose a registry in Prometheus text format at /metrics/prom, call
+// obs.StartDebugServer directly with the registry.
+func StartDebugServer(addr string) (*DebugServer, error) { return obs.StartDebugServer(addr, nil) }
+
+// Trace context. A trace ID ties every span and journal record produced
+// by one request/run/job together; the serving daemon mints one per HTTP
+// request (echoed in the X-Privim-Trace header) and the CLIs mint one
+// per run.
+
+// NewTraceID mints a fresh random trace ID.
+func NewTraceID() string { return obs.NewTraceID() }
+
+// ContextWithTrace returns ctx carrying a trace ID for TrainContext and
+// the other context-aware entry points.
+func ContextWithTrace(ctx context.Context, id string) context.Context {
+	return obs.ContextWithTrace(ctx, id)
+}
+
+// TraceFromContext extracts the context's trace ID ("" when absent).
+func TraceFromContext(ctx context.Context) string { return obs.TraceFromContext(ctx) }
+
+// WriteChromeTrace converts a JSONL run journal into Chrome trace-event
+// JSON (Perfetto / chrome://tracing); traceFilter keeps only one trace
+// ID ("" converts everything). The tracecat command wraps this.
+func WriteChromeTrace(journal io.Reader, w io.Writer, traceFilter string) error {
+	return obs.WriteChromeTrace(journal, w, traceFilter)
+}
 
 // Classical IM solvers.
 type (
