@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race cover bench bench-all bench-smoke suite suite-paper examples fuzz serve-smoke crash-smoke trace-smoke clean
+.PHONY: all build test vet lint race cover bench bench-all bench-smoke suite suite-paper examples fuzz serve-smoke crash-smoke budget-smoke trace-smoke clean
 
 all: build vet test
 
@@ -24,7 +24,7 @@ test: vet
 
 race:
 	$(GO) test -race ./internal/obs/ ./internal/privim/ ./internal/diffusion/ ./internal/expt/ ./internal/serve/ ./internal/graph/ \
-		./internal/parallel/ ./internal/tensor/ ./internal/autodiff/ ./internal/nn/ ./internal/im/
+		./internal/parallel/ ./internal/tensor/ ./internal/autodiff/ ./internal/nn/ ./internal/im/ ./internal/ledger/
 
 cover:
 	$(GO) test -cover ./...
@@ -68,6 +68,13 @@ fuzz:
 crash-smoke:
 	$(GO) test -race -run 'Checkpoint|Resume|Recover|Crash|Corrupt|Truncat|Replay|Interrupted|Atomic' \
 		./internal/nn/ ./internal/privim/ ./internal/serve/
+
+# Privacy-budget suite under the race detector: ledger reserve/commit/
+# refund lifecycle, RDP composition tightness, bit-for-bit replay, and
+# the serve layer's per-tenant admission + crash accounting.
+budget-smoke:
+	$(GO) test -race -run 'Budget|Ledger|Refund|Forfeit|Epsilon|Compos' \
+		./internal/ledger/ ./internal/dp/ ./internal/serve/
 
 # Boot privimd on a throwaway port, probe /healthz and /metrics, shut down.
 serve-smoke:

@@ -15,7 +15,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sync/atomic"
 
 	"privim/internal/cliutil"
 	"privim/internal/dataset"
@@ -23,34 +25,38 @@ import (
 	"privim/internal/gnn"
 	"privim/internal/graph"
 	"privim/internal/im"
+	"privim/internal/ledger"
+	"privim/internal/obs"
 	"privim/internal/privim"
 	"privim/internal/tensor"
 )
 
 func main() {
 	var (
-		preset    = flag.String("preset", "email", "dataset preset (ignored when -graph is set)")
-		scale     = flag.Float64("scale", 0.05, "dataset scale fraction")
-		graphPath = flag.String("graph", "", "edge-list file to load instead of a preset")
-		mode      = flag.String("mode", "privim*", "method: privim, privim+scs, privim*, non-private, egn, hp, hp-grat")
-		gnnKind   = flag.String("gnn", "", "architecture override: gcn, sage, gat, grat, gin")
-		eps       = flag.Float64("eps", 3, "privacy budget epsilon (0 = non-private)")
-		k         = flag.Int("k", 10, "seed set size")
-		iters     = flag.Int("iters", 40, "training iterations T")
-		n         = flag.Int("n", 20, "subgraph size")
-		threshold = flag.Int("m", 4, "frequency threshold M (PrivIM*)")
-		theta     = flag.Int("theta", 10, "in-degree bound (PrivIM naive)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		compare   = flag.Bool("celf", false, "also run CELF for a coverage ratio")
-		steps     = flag.Int("j", 1, "diffusion steps for evaluation and loss")
-		savePath  = flag.String("save", "", "write the trained model checkpoint to this path")
-		loadPath  = flag.String("load", "", "skip training and score with this checkpoint")
-		workers   = cliutil.RegisterWorkers(flag.CommandLine)
-		obsFlags  cliutil.ObserverFlags
-		ckptFlags cliutil.CheckpointFlags
+		preset      = flag.String("preset", "email", "dataset preset (ignored when -graph is set)")
+		scale       = flag.Float64("scale", 0.05, "dataset scale fraction")
+		graphPath   = flag.String("graph", "", "edge-list file to load instead of a preset")
+		mode        = flag.String("mode", "privim*", "method: privim, privim+scs, privim*, non-private, egn, hp, hp-grat")
+		gnnKind     = flag.String("gnn", "", "architecture override: gcn, sage, gat, grat, gin")
+		eps         = flag.Float64("eps", 3, "privacy budget epsilon (0 = non-private)")
+		k           = flag.Int("k", 10, "seed set size")
+		iters       = flag.Int("iters", 40, "training iterations T")
+		n           = flag.Int("n", 20, "subgraph size")
+		threshold   = flag.Int("m", 4, "frequency threshold M (PrivIM*)")
+		theta       = flag.Int("theta", 10, "in-degree bound (PrivIM naive)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		compare     = flag.Bool("celf", false, "also run CELF for a coverage ratio")
+		steps       = flag.Int("j", 1, "diffusion steps for evaluation and loss")
+		savePath    = flag.String("save", "", "write the trained model checkpoint to this path")
+		loadPath    = flag.String("load", "", "skip training and score with this checkpoint")
+		workers     = cliutil.RegisterWorkers(flag.CommandLine)
+		obsFlags    cliutil.ObserverFlags
+		ckptFlags   cliutil.CheckpointFlags
+		budgetFlags cliutil.BudgetFlags
 	)
 	obsFlags.Register(flag.CommandLine)
 	ckptFlags.Register(flag.CommandLine)
+	budgetFlags.Register(flag.CommandLine, "budget-file")
 	flag.Parse()
 	cliutil.ApplyWorkers(*workers)
 
@@ -91,6 +97,49 @@ func main() {
 	if *gnnKind != "" {
 		cfg.GNNKind = gnn.Kind(*gnnKind)
 	}
+
+	// Local privacy-budget guard: with -budget/-budget-file, each private
+	// run against this graph draws down a durable per-graph ledger — the
+	// single-machine twin of the daemon's per-tenant enforcement. The run
+	// reserves its requested ε up front (an exhausted ledger refuses to
+	// train), commits its composed RDP spend on success, and on failure
+	// commits the ε the trainer had already released.
+	var (
+		budgetLedger *ledger.Ledger
+		budgetRef    string
+		budgetFP     string
+		lastEps      atomic.Uint64
+	)
+	privateRun := privim.Mode(*mode) != privim.ModeNonPrivate && *eps > 0 && !math.IsInf(*eps, 1)
+	if *loadPath == "" && privateRun && (budgetFlags.Budget > 0 || budgetFlags.Path != "") {
+		budgetLedger, err = ledger.Open(ledger.Options{
+			Budget: budgetFlags.Budget,
+			Delta:  budgetFlags.Delta,
+			Path:   budgetFlags.Path,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "privim: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		budgetFP = fmt.Sprintf("%016x", g.Fingerprint())
+		budgetRef = "run-" + stack.TraceID
+		if cfg.Delta == 0 {
+			// Compose at the ledger's δ so the committed spend matches the
+			// requested ε (see serve's budget-charged jobs for the same rule).
+			cfg.Delta = budgetLedger.Delta()
+		}
+		if err := budgetLedger.Reserve(budgetRef, "local", budgetFP, *eps); err != nil {
+			fatal(err)
+		}
+		cfg.Observer = obs.Multi(cfg.Observer, obs.ObserverFunc(func(e obs.Event) {
+			if it, ok := e.(obs.IterationEnd); ok {
+				lastEps.Store(math.Float64bits(it.EpsilonSpent))
+			}
+		}))
+	}
+
 	var seeds []graph.NodeID
 	if *loadPath != "" {
 		model, err := loadCheckpoint(*loadPath)
@@ -103,7 +152,24 @@ func main() {
 	} else {
 		res, err := privim.TrainContext(ctx, g, cfg)
 		if err != nil {
+			if budgetLedger != nil {
+				budgetLedger.Commit(budgetRef, "local", budgetFP,
+					ledger.Charge{Epsilon: math.Float64frombits(lastEps.Load())})
+			}
 			fatal(err)
+		}
+		if budgetLedger != nil {
+			acct, _ := res.Accountant()
+			budgetLedger.Commit(budgetRef, "local", budgetFP, ledger.Charge{
+				Acct: acct, Iterations: res.Config.Iterations, Epsilon: res.EpsilonSpent,
+			})
+			b := budgetLedger.Balance("local", budgetFP)
+			if b.Enforced {
+				fmt.Printf("privacy budget: ε %.4f committed of %.4f (%.4f remaining) for graph %s\n",
+					b.Committed, b.Budget, b.Remaining, budgetFP)
+			} else {
+				fmt.Printf("privacy budget: ε %.4f committed for graph %s\n", b.Committed, budgetFP)
+			}
 		}
 		fmt.Println(res)
 		if *savePath != "" {

@@ -17,6 +17,13 @@
 //	GET|POST|DELETE /v1/graphs...  graph store CRUD (fingerprinted)
 //	POST /v1/score, /v1/seeds      cached model queries
 //	POST /v1/train, /v1/jobs...    async training jobs
+//	GET  /v1/budget                caller's privacy-budget position
+//
+// With -budget set, every private training job charges a per-tenant
+// (X-Privim-Tenant header) privacy-budget ledger keyed on the graph
+// fingerprint; exhausted budgets deny admission with 403. The ledger
+// persists to <journal-dir>/ledger.jsonl (or -budget-ledger) and
+// replays on restart.
 //
 // SIGTERM/SIGINT drains gracefully: the listener closes, in-flight
 // requests and queued/running training jobs finish (bounded by
@@ -57,8 +64,10 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
 		workers       = cliutil.RegisterWorkers(flag.CommandLine)
 		obsFlags      cliutil.ObserverFlags
+		budgetFlags   cliutil.BudgetFlags
 	)
 	obsFlags.Register(flag.CommandLine)
+	budgetFlags.Register(flag.CommandLine, "budget-ledger")
 	flag.Parse()
 	// Apply before serve.New: the job manager splits this limit across its
 	// -train-workers slots to size each job's compute pool.
@@ -90,6 +99,9 @@ func main() {
 		TrainWorkers:    *trainWorkers,
 		TrainQueue:      *trainQueue,
 		CacheSize:       *cacheSize,
+		Budget:          budgetFlags.Budget,
+		BudgetDelta:     budgetFlags.Delta,
+		BudgetLedger:    budgetFlags.Path,
 		Registry:        reg,
 		Observer:        stack.Observer,
 		Logf:            logger.Printf,

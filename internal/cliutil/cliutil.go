@@ -55,6 +55,28 @@ func (f *CheckpointFlags) Register(fs *flag.FlagSet) {
 		"checkpoint cadence in training iterations (default 10; only with -checkpoint-dir)")
 }
 
+// BudgetFlags is the shared privacy-budget flag set: an enforced per-
+// (tenant, graph) ε limit, the δ the ledger composes at, and the
+// append-only ledger file that makes the budget durable. The daemon
+// names the path flag -budget-ledger; the trainer CLI names it
+// -budget-file (its ledger is a local file, not a serving directory).
+type BudgetFlags struct {
+	Budget float64
+	Delta  float64
+	Path   string
+}
+
+// Register installs -budget, -budget-delta, and the named path flag on
+// fs with the shared help text.
+func (f *BudgetFlags) Register(fs *flag.FlagSet, pathFlag string) {
+	fs.Float64Var(&f.Budget, "budget", 0,
+		"enforce a per-(tenant, graph) privacy budget ε across training runs; runs that would exceed it are denied (0 = no enforcement)")
+	fs.Float64Var(&f.Delta, "budget-delta", 0,
+		"δ at which the budget ledger composes accumulated RDP spend (default 1e-5)")
+	fs.StringVar(&f.Path, pathFlag, "",
+		"append-only JSONL privacy-budget ledger; replayed on start so spend survives restarts")
+}
+
 // ObserverFlags is the observability flag set every binary exposes.
 // Register installs the flags on a FlagSet; Setup builds the stack the
 // parsed values request.

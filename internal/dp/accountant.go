@@ -144,18 +144,12 @@ func defaultAlphaGrid() []float64 {
 // Epsilon returns the tightest (ε, δ)-DP guarantee for T iterations of
 // Algorithm 2, minimizing the Theorem 1 conversion over a grid of Rényi
 // orders (sequential composition gives (α, γT)-RDP per Definition 5).
+// It is RDPCurve + EpsilonFromCurve in one step.
 func (a Accountant) Epsilon(T int, delta float64) float64 {
 	if T < 1 {
 		panic(fmt.Sprintf("dp: Epsilon T = %d < 1", T))
 	}
-	best := math.Inf(1)
-	for _, alpha := range defaultAlphaGrid() {
-		eps := ConvertRDP(alpha, a.RDP(alpha)*float64(T), delta)
-		if eps < best {
-			best = eps
-		}
-	}
-	return best
+	return EpsilonFromCurve(a.RDPCurve(T), delta)
 }
 
 // CalibrateSigma returns the smallest noise multiplier σ (within rel. tol.

@@ -1,0 +1,76 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cross-run RDP composition. A single training run's guarantee comes from
+// Accountant.Epsilon; when the *same* graph is trained repeatedly (the
+// serving daemon's multi-tenant regime), the runs compose. Summing their
+// (ε, δ) guarantees is valid but loose; summing their per-order Rényi
+// costs first and converting once (Definition 5 sequential composition +
+// Theorem 1) is tighter. The helpers here expose the per-order cost
+// vector over the package's fixed alpha grid so an external ledger
+// (internal/ledger) can accumulate privacy loss across process
+// lifetimes and convert the total on demand.
+
+// AlphaGrid returns a fresh copy of the Rényi-order grid every
+// conversion in this package optimizes over. The grid is fixed for the
+// lifetime of the package (persisted RDP curves index into it), so its
+// length is a compatibility contract: code serializing curves should
+// store len(AlphaGrid()) alongside and reject mismatches.
+func AlphaGrid() []float64 {
+	return defaultAlphaGrid()
+}
+
+// RDPCurve returns the accumulated Rényi cost γ(α)·T of T iterations at
+// every order of AlphaGrid, in grid order — the composable representation
+// of this run's privacy loss. Curves from independent runs over the same
+// grid add elementwise (sequential composition, Definition 5).
+func (a Accountant) RDPCurve(T int) []float64 {
+	if T < 1 {
+		panic(fmt.Sprintf("dp: RDPCurve T = %d < 1", T))
+	}
+	grid := defaultAlphaGrid()
+	curve := make([]float64, len(grid))
+	for i, alpha := range grid {
+		curve[i] = a.RDP(alpha) * float64(T)
+	}
+	return curve
+}
+
+// EpsilonFromCurve converts an accumulated per-order RDP curve (aligned
+// with AlphaGrid) into the tightest (ε, δ)-DP guarantee via Theorem 1,
+// minimizing over the grid. It panics when the curve length does not
+// match the grid — a mismatch means the curve was built against a
+// different grid and converting it would be silently wrong.
+func EpsilonFromCurve(curve []float64, delta float64) float64 {
+	grid := defaultAlphaGrid()
+	if len(curve) != len(grid) {
+		panic(fmt.Sprintf("dp: curve has %d orders, grid has %d", len(curve), len(grid)))
+	}
+	best := math.Inf(1)
+	for i, alpha := range grid {
+		if eps := ConvertRDP(alpha, curve[i], delta); eps < best {
+			best = eps
+		}
+	}
+	return best
+}
+
+// AddCurve adds charge into total elementwise, allocating when total is
+// nil — the accumulation step of sequential composition. Both curves
+// must align with AlphaGrid.
+func AddCurve(total, charge []float64) []float64 {
+	if total == nil {
+		total = make([]float64, len(charge))
+	}
+	if len(total) != len(charge) {
+		panic(fmt.Sprintf("dp: adding curve of %d orders into %d", len(charge), len(total)))
+	}
+	for i, v := range charge {
+		total[i] += v
+	}
+	return total
+}

@@ -1,0 +1,90 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEpsilonMonotoneInT: more iterations can only spend more budget.
+func TestEpsilonMonotoneInT(t *testing.T) {
+	acc := Accountant{M: 64, B: 16, Ng: 4, Sigma: 2}
+	prev := 0.0
+	for _, T := range []int{1, 2, 5, 10, 20, 40, 80, 160} {
+		eps := acc.Epsilon(T, 1e-5)
+		if eps <= prev {
+			t.Fatalf("Epsilon(T=%d) = %v not above Epsilon at smaller T (%v)", T, eps, prev)
+		}
+		prev = eps
+	}
+}
+
+// TestEpsilonIsGridOptimum: Epsilon must equal the minimum of the
+// Theorem 1 conversion over the published alpha grid — no order may beat
+// it, and at least one must achieve it.
+func TestEpsilonIsGridOptimum(t *testing.T) {
+	acc := Accountant{M: 100, B: 20, Ng: 4, Sigma: 1.5}
+	const T, delta = 30, 1e-5
+	eps := acc.Epsilon(T, delta)
+	best := math.Inf(1)
+	for _, alpha := range AlphaGrid() {
+		conv := ConvertRDP(alpha, acc.RDP(alpha)*float64(T), delta)
+		if conv < eps {
+			t.Fatalf("order alpha=%v converts to %v, below Epsilon=%v", alpha, conv, eps)
+		}
+		if conv < best {
+			best = conv
+		}
+	}
+	if best != eps {
+		t.Fatalf("grid optimum %v != Epsilon %v", best, eps)
+	}
+}
+
+// TestSequentialCompositionProperty: composing two T/2 runs at the RDP
+// level costs exactly one T run (γ·T/2 + γ·T/2 = γ·T per order), while
+// naive (ε, δ) summation is strictly looser — the reason the budget
+// ledger composes curves rather than scalars.
+func TestSequentialCompositionProperty(t *testing.T) {
+	acc := Accountant{M: 80, B: 16, Ng: 4, Sigma: 2}
+	const delta = 1e-5
+	for _, T := range []int{2, 10, 40, 100} {
+		half := acc.RDPCurve(T / 2)
+		composed := AddCurve(AddCurve(nil, half), half)
+		got := EpsilonFromCurve(composed, delta)
+		want := acc.Epsilon(T, delta)
+		if rel := math.Abs(got-want) / want; rel > 1e-12 {
+			t.Fatalf("T=%d: RDP-composed two halves = %v, one full run = %v (rel %v)", T, got, want, rel)
+		}
+		if naive := 2 * acc.Epsilon(T/2, delta); naive < want {
+			t.Fatalf("T=%d: naive sum %v below true composed %v", T, naive, want)
+		}
+	}
+}
+
+// TestRDPCurveAlignsWithGrid: curve length, order, and panic contracts.
+func TestRDPCurveAlignsWithGrid(t *testing.T) {
+	acc := Accountant{M: 50, B: 10, Ng: 2, Sigma: 1}
+	grid := AlphaGrid()
+	curve := acc.RDPCurve(3)
+	if len(curve) != len(grid) {
+		t.Fatalf("curve has %d orders, grid %d", len(curve), len(grid))
+	}
+	for i, alpha := range grid {
+		if want := acc.RDP(alpha) * 3; curve[i] != want {
+			t.Fatalf("curve[%d] = %v, want %v", i, curve[i], want)
+		}
+	}
+	mustPanic(t, "short curve", func() { EpsilonFromCurve(curve[:3], 1e-5) })
+	mustPanic(t, "curve length mismatch", func() { AddCurve(curve, curve[:5]) })
+	mustPanic(t, "T<1", func() { acc.RDPCurve(0) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

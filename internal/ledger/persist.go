@@ -1,0 +1,102 @@
+package ledger
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+)
+
+// Ledger persistence mirrors the serve layer's jobs.jsonl discipline:
+// one JSON line appended per transition, the file is never rewritten,
+// the last record per reference wins (states only move forward, so
+// replay applies transitions in file order and stale duplicates are
+// no-ops), and corrupt or torn lines are skipped rather than fatal.
+// Committed charges persist their accountant *parameters*, not the RDP
+// floats — replay re-derives each curve and re-accumulates in original
+// commit order, which reproduces the committed balance bit for bit.
+
+// record is one ledger.jsonl line.
+type record struct {
+	Ref    string `json:"ref"`
+	Tenant string `json:"tenant"`
+	Graph  string `json:"graph"`
+	// State is the transition: reserved, committed, refunded, forfeited.
+	State string `json:"state"`
+	// Eps is the ε the transition moved: the reservation amount, the
+	// scalar committed spend, or the refunded/forfeited reservation.
+	Eps float64 `json:"eps"`
+	// Charge holds the committed run's accounting (committed records).
+	Charge *Charge `json:"charge,omitempty"`
+}
+
+// appendLocked durably appends one record; the caller holds l.mu, which
+// also serializes writers, so file order equals in-memory apply order.
+// Persistence failures are logged, not fatal — the ledger keeps
+// enforcing with in-memory state (same stance as the job table).
+func (l *Ledger) appendLocked(rec record) {
+	if l.opts.Path == "" {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		l.opts.Logf("ledger: marshal %s %s: %v", rec.State, rec.Ref, err)
+		return
+	}
+	f, err := os.OpenFile(l.opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.opts.Logf("ledger: %v", err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		l.opts.Logf("ledger: append %s: %v", rec.Ref, err)
+	}
+}
+
+// replay restores the ledger from Options.Path. A missing file is a
+// fresh ledger, not an error.
+func (l *Ledger) replay() error {
+	f, err := os.Open(l.opts.Path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		// Every state except an anonymous commit needs a reference.
+		if err := json.Unmarshal(line, &rec); err != nil || (rec.Ref == "" && rec.State != stateCommitted) {
+			l.opts.Logf("ledger: %s: skipping corrupt line %d", l.opts.Path, lineNo)
+			continue
+		}
+		switch rec.State {
+		case stateReserved:
+			l.applyReserveLocked(rec)
+		case stateCommitted:
+			l.applyCommitLocked(rec)
+		case stateRefunded:
+			l.applyRefundLocked(rec)
+		case stateForfeited:
+			l.applyForfeitLocked(rec)
+		default:
+			l.opts.Logf("ledger: %s: skipping unknown state %q on line %d", l.opts.Path, rec.State, lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		l.opts.Logf("ledger: %s: %v (replayed %d line(s) before the error)", l.opts.Path, err, lineNo)
+	}
+	return nil
+}

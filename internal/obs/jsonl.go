@@ -119,6 +119,8 @@ func DecodeRecord(line []byte) (Event, time.Time, error) {
 		ev = &CheckpointResumed{}
 	case CheckpointRejected{}.EventKind():
 		ev = &CheckpointRejected{}
+	case LedgerOp{}.EventKind():
+		ev = &LedgerOp{}
 	default:
 		return nil, ts, fmt.Errorf("obs: unknown event kind %q", rec.Kind)
 	}

@@ -268,6 +268,32 @@ type CheckpointResumed struct {
 // EventKind implements Event.
 func (CheckpointResumed) EventKind() string { return "checkpoint_resumed" }
 
+// LedgerOp reports one privacy-budget ledger transition
+// (internal/ledger): a reservation taken at job admission, a commit of
+// actually-spent ε at completion, a refund on cancel, a forfeit of the
+// full reservation when an interrupted job's true spend is unknowable,
+// or a denial because the (tenant, graph) budget is exhausted.
+type LedgerOp struct {
+	// Op is "reserve", "commit", "refund", "forfeit", or "deny".
+	Op string `json:"op"`
+	// Tenant and Graph key the budget entry (Graph is the
+	// graph.Fingerprint hex of the trained graph).
+	Tenant string `json:"tenant"`
+	Graph  string `json:"graph"`
+	// Ref is the reservation reference (the job ID or CLI run ID).
+	Ref string `json:"ref,omitempty"`
+	// Epsilon is the ε this operation moved (requested on reserve/deny,
+	// actually spent on commit, released on refund/forfeit).
+	Epsilon float64 `json:"epsilon"`
+	// Committed and Reserved are the tenant's totals across all graphs
+	// after the operation — what the per-tenant gauges export.
+	Committed float64 `json:"committed"`
+	Reserved  float64 `json:"reserved"`
+}
+
+// EventKind implements Event.
+func (LedgerOp) EventKind() string { return "ledger_op" }
+
 // CheckpointRejected reports a checkpoint file that failed verification
 // (truncation, checksum mismatch, config/graph fingerprint mismatch) and
 // was skipped; the loader falls back to the previous good checkpoint, or

@@ -113,6 +113,12 @@ func (r *Registry) Emit(e Event) {
 		r.Gauge("train.checkpoint.iter").Set(float64(ev.Iter))
 	case CheckpointRejected:
 		r.Counter("train.checkpoint.rejected").Inc()
+	case LedgerOp:
+		r.Counter("ledger." + ev.Op).Inc()
+		// Per-tenant budget position as labeled gauges (PR 6 Prometheus
+		// labels), so operators can alert on a tenant nearing exhaustion.
+		r.Gauge(Labeled("ledger.epsilon_committed", "tenant", ev.Tenant)).Set(ev.Committed)
+		r.Gauge(Labeled("ledger.epsilon_reserved", "tenant", ev.Tenant)).Set(ev.Reserved)
 	case ExtractionDone:
 		r.Counter("sampling.extractions").Inc()
 		r.Counter("sampling.subgraphs").Add(int64(ev.Subgraphs))

@@ -63,8 +63,10 @@ type Config struct {
 	HiddenDim int // default 32
 	Layers    int // default 3 (this is r)
 
-	// Epsilon is the privacy budget; <= 0 or +Inf disables noise
-	// (non-private mode forces this). Delta defaults to 1/|V_train|.
+	// Epsilon is the privacy budget. 0 (unset) and +Inf both mean
+	// non-private — no noise — and non-private mode forces +Inf;
+	// negative is a validation error (the serve layer rejects it with
+	// 400 before a job is created). Delta defaults to 1/|V_train|.
 	Epsilon float64
 	Delta   float64
 

@@ -51,6 +51,10 @@ type Result struct {
 	// iteration (pre-noise, so it reflects what the model actually
 	// optimizes); useful for convergence diagnostics.
 	LossHistory []float64
+	// acct is the run's RDP accountant (valid only when Private); exposed
+	// via Accountant for cross-run composition in budget ledgers.
+	acct dp.Accountant
+
 	// NoisyLossHistory records, for each iteration, the same batch's mean
 	// per-sample loss re-evaluated after the noisy parameter update
 	// (forward pass only). The gap to LossHistory[t] isolates how much
@@ -59,6 +63,14 @@ type Result struct {
 	// provide. For non-private runs it degenerates to the post-update
 	// loss.
 	NoisyLossHistory []float64
+}
+
+// Accountant returns the run's RDP accountant parameters, for composing
+// this run's privacy loss with other runs at the Rényi level (tighter
+// than summing (ε, δ) scalars). ok is false for non-private runs, which
+// have no accountant.
+func (r *Result) Accountant() (acct dp.Accountant, ok bool) {
+	return r.acct, r.Private
 }
 
 // Train runs the full pipeline of the configured method on the training
@@ -139,6 +151,7 @@ func TrainContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 		accountant = dp.Accountant{M: container.Len(), B: batch, Ng: ngEff, Sigma: sigma}
 		res.EpsilonSpent = accountant.Epsilon(cfg.Iterations, cfg.Delta)
 		res.OccurrenceBound = ngEff
+		res.acct = accountant
 	}
 	m2.End()
 

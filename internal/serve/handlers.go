@@ -12,6 +12,7 @@ import (
 	"privim/internal/gnn"
 	"privim/internal/graph"
 	"privim/internal/im"
+	"privim/internal/ledger"
 	"privim/internal/obs"
 	"privim/internal/tensor"
 )
@@ -257,6 +258,25 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 
 // --- async training jobs ---
 
+// TenantHeader names the budget account a training job charges; absent
+// means DefaultTenant. Tenant names follow the same grammar as model and
+// graph names.
+const TenantHeader = "X-Privim-Tenant"
+
+// tenantOf resolves and validates the request's tenant; ok is false
+// after an error response has been written.
+func tenantOf(w http.ResponseWriter, r *http.Request) (string, bool) {
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		return DefaultTenant, true
+	}
+	if !validName(tenant) {
+		httpError(w, http.StatusBadRequest, "invalid tenant %q", tenant)
+		return "", false
+	}
+	return tenant, true
+}
+
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	var req TrainRequest
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
@@ -268,6 +288,17 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid model name %q", req.ModelName)
 		return
 	}
+	if req.Epsilon < 0 {
+		// Same rule the trainer enforces (core.Config.normalize), moved up
+		// front so a bad request fails before a job exists: 0 and +Inf mean
+		// non-private, negative is meaningless.
+		httpError(w, http.StatusBadRequest, "epsilon %v must be positive (or 0 for non-private)", req.Epsilon)
+		return
+	}
+	tenant, ok := tenantOf(w, r)
+	if !ok {
+		return
+	}
 	ge, err := s.graphs.Get(req.Graph)
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
@@ -275,8 +306,23 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	}
 	// The withTrace middleware put the request's trace ID in the context;
 	// storing it on the job ties the async work back to this request.
-	status, err := s.jobs.Submit(req, ge.g, obs.TraceFromContext(r.Context()))
+	status, err := s.jobs.Submit(req, ge.g, tenant, obs.TraceFromContext(r.Context()))
+	var exhausted *ledger.ExhaustedError
 	switch {
+	case errors.As(err, &exhausted):
+		// Machine-readable denial: the client learns exactly how much ε is
+		// left so it can resize or route the job elsewhere.
+		writeJSON(w, http.StatusForbidden, map[string]any{
+			"error":     "budget_exhausted",
+			"tenant":    exhausted.Balance.Tenant,
+			"graph":     exhausted.Balance.Graph,
+			"requested": exhausted.Requested,
+			"budget":    exhausted.Balance.Budget,
+			"committed": exhausted.Balance.Committed,
+			"reserved":  exhausted.Balance.Reserved,
+			"remaining": exhausted.Balance.Remaining,
+		})
+		return
 	case errors.Is(err, errQueueFull):
 		httpError(w, http.StatusTooManyRequests, "%v", err)
 		return
@@ -288,6 +334,28 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, status)
+}
+
+// handleBudget reports the calling tenant's budget position across every
+// graph it has spent against — committed, reserved, and remaining ε.
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	if s.budget == nil {
+		httpError(w, http.StatusNotFound, "budget tracking is not enabled")
+		return
+	}
+	tenant, ok := tenantOf(w, r)
+	if !ok {
+		return
+	}
+	balances := s.budget.Balances(tenant)
+	if balances == nil {
+		balances = []ledger.Balance{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant":   tenant,
+		"enforced": s.budget.Enforced(),
+		"budgets":  balances,
+	})
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {

@@ -4,18 +4,25 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"privim/internal/gnn"
 	"privim/internal/graph"
+	"privim/internal/ledger"
 	"privim/internal/obs"
 	"privim/internal/parallel"
 	core "privim/internal/privim"
 )
+
+// DefaultTenant is the budget account a job charges when the submitting
+// request carries no tenant header.
+const DefaultTenant = "default"
 
 // JobState is the lifecycle of an async training job.
 type JobState string
@@ -34,14 +41,21 @@ const (
 
 // TrainRequest is the POST /v1/train body. Graph names a stored graph;
 // every other field is optional and falls back to the paper's defaults
-// (core.Config.normalize). Epsilon 0 means non-private, matching the
-// library semantics.
+// (core.Config.normalize). Epsilon follows the library semantics
+// exactly (core.Config): 0 (unset) and +Inf both mean non-private,
+// negative is rejected with 400 before a job is created. Only private
+// requests (finite positive ε outside non-private mode) charge the
+// tenant's budget ledger.
 type TrainRequest struct {
-	Graph        string  `json:"graph"`
-	ModelName    string  `json:"model_name,omitempty"` // registry destination; default: the job ID
-	Mode         string  `json:"mode,omitempty"`
-	GNN          string  `json:"gnn,omitempty"`
-	Epsilon      float64 `json:"epsilon,omitempty"`
+	Graph     string  `json:"graph"`
+	ModelName string  `json:"model_name,omitempty"` // registry destination; default: the job ID
+	Mode      string  `json:"mode,omitempty"`
+	GNN       string  `json:"gnn,omitempty"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	// Delta is the guarantee's δ. Unset picks the library default
+	// (1/|V_train|) — except for budget-charged jobs, which default to
+	// the ledger's δ so the committed spend matches the reserved ε.
+	Delta        float64 `json:"delta,omitempty"`
 	Iterations   int     `json:"iterations,omitempty"`
 	SubgraphSize int     `json:"subgraph_size,omitempty"`
 	Threshold    int     `json:"threshold,omitempty"`
@@ -69,6 +83,13 @@ type JobStatus struct {
 	// record the job produces carries it, so one ID follows the work from
 	// HTTP request through the async hand-off to the training pipeline.
 	Trace string `json:"trace,omitempty"`
+	// Tenant is the X-Privim-Tenant the job was submitted under — the
+	// budget-ledger account its privacy spend charges ("default" when the
+	// header is absent).
+	Tenant string `json:"tenant,omitempty"`
+	// Fingerprint is the submitted graph's content fingerprint, the graph
+	// key the ledger charges under (stable across graph renames).
+	Fingerprint string `json:"fingerprint,omitempty"`
 
 	// Training summary, populated on success.
 	EpsilonSpent float64 `json:"epsilon_spent,omitempty"`
@@ -102,6 +123,7 @@ type jobManagerOptions struct {
 	models          *modelRegistry
 	metrics         *obs.Registry
 	logf            func(string, ...any)
+	budget          *ledger.Ledger // nil = no budget tracking
 }
 
 // jobManager runs training jobs on a bounded worker pool with a bounded
@@ -128,6 +150,7 @@ type jobManager struct {
 	models          *modelRegistry
 	metrics         *obs.Registry
 	logf            func(string, ...any)
+	budget          *ledger.Ledger
 
 	// perJobWorkers is the compute-pool width each training job runs at:
 	// the process-wide limit divided across the concurrent job slots, so a
@@ -152,6 +175,7 @@ func newJobManager(opts jobManagerOptions) *jobManager {
 		models:          opts.models,
 		metrics:         opts.metrics,
 		logf:            opts.logf,
+		budget:          opts.budget,
 		perJobWorkers:   perJob,
 	}
 	m.cond = sync.NewCond(&m.mu)
@@ -162,11 +186,19 @@ func newJobManager(opts jobManagerOptions) *jobManager {
 	return m
 }
 
+// privateRequest reports whether the request trains with DP noise —
+// mirrors core.Config.privatized after normalization (0 maps to +Inf),
+// so only jobs that actually spend privacy budget charge the ledger.
+func privateRequest(req TrainRequest) bool {
+	return req.Epsilon > 0 && !math.IsInf(req.Epsilon, 1) && core.Mode(req.Mode) != core.ModeNonPrivate
+}
+
 // Submit enqueues a training job over g (already resolved from
 // req.Graph, so a later graph delete cannot invalidate a queued job).
-// trace is the submitting request's trace ID ("" mints one when the job
-// runs), carried on the job status and into its journal and spans.
-func (m *jobManager) Submit(req TrainRequest, g *graph.Graph, trace string) (JobStatus, error) {
+// tenant is the budget account the job charges; trace is the submitting
+// request's trace ID ("" mints one when the job runs), carried on the
+// job status and into its journal and spans.
+func (m *jobManager) Submit(req TrainRequest, g *graph.Graph, tenant, trace string) (JobStatus, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -179,14 +211,30 @@ func (m *jobManager) Submit(req TrainRequest, g *graph.Graph, trace string) (Job
 		m.metrics.Counter("serve.jobs.rejected").Inc()
 		return JobStatus{}, errQueueFull
 	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	fp := fmt.Sprintf("%016x", g.Fingerprint())
+	// Budget admission: reserve the requested ε under the job's future ID
+	// before consuming it, so a denied submission — like a full queue —
+	// leaves no gap in the job-XXXX sequence.
+	if m.budget != nil && privateRequest(req) {
+		ref := fmt.Sprintf("job-%04d", m.nextID+1)
+		if err := m.budget.Reserve(ref, tenant, fp, req.Epsilon); err != nil {
+			m.metrics.Counter("serve.jobs.denied").Inc()
+			return JobStatus{}, err
+		}
+	}
 	m.nextID++
 	j := &job{
 		status: JobStatus{
-			ID:      fmt.Sprintf("job-%04d", m.nextID),
-			State:   JobQueued,
-			Graph:   req.Graph,
-			Trace:   trace,
-			Created: time.Now(),
+			ID:          fmt.Sprintf("job-%04d", m.nextID),
+			State:       JobQueued,
+			Graph:       req.Graph,
+			Trace:       trace,
+			Tenant:      tenant,
+			Fingerprint: fp,
+			Created:     time.Now(),
 		},
 		req: req,
 		g:   g,
@@ -239,6 +287,12 @@ func (m *jobManager) Cancel(id string) (JobStatus, error) {
 	}
 	j.status.State = JobCanceled
 	j.status.Finished = time.Now()
+	if m.budget != nil {
+		// The job never ran, so it spent nothing: release its reservation.
+		// Ledger before job table, so a crash between the two leaves the
+		// ledger ahead — never behind — of what recovery replays.
+		m.budget.Refund(id)
+	}
 	for i, p := range m.pending {
 		if p == j {
 			m.pending = append(m.pending[:i], m.pending[i+1:]...)
@@ -318,12 +372,26 @@ func (m *jobManager) run(j *job) {
 		j.status.Trace = obs.NewTraceID()
 	}
 	req, g, id, trace := j.req, j.g, j.status.ID, j.status.Trace
+	tenant, fp := j.status.Tenant, j.status.Fingerprint
 	m.persistLocked(j)
 	m.mu.Unlock()
 	m.metrics.Gauge("serve.jobs.running").Inc()
 	defer m.metrics.Gauge("serve.jobs.running").Dec()
 
 	observer := m.observer
+	// Private jobs track the trainer's running ε from its IterationEnd
+	// events: when the run fails partway, the noise already released is
+	// privacy spent all the same, and this is the only record of it. The
+	// failure path surfaces it on the job status and commits it to the
+	// budget ledger.
+	var lastEps atomic.Uint64
+	if privateRequest(req) {
+		observer = obs.Multi(observer, obs.ObserverFunc(func(e obs.Event) {
+			if it, ok := e.(obs.IterationEnd); ok {
+				lastEps.Store(math.Float64bits(it.EpsilonSpent))
+			}
+		}))
+	}
 	var journalPath string
 	var sink *obs.JSONLSink
 	var journalFile *os.File
@@ -344,6 +412,7 @@ func (m *jobManager) run(j *job) {
 	cfg := core.Config{
 		Mode:         core.Mode(req.Mode),
 		Epsilon:      req.Epsilon,
+		Delta:        req.Delta,
 		Iterations:   req.Iterations,
 		SubgraphSize: req.SubgraphSize,
 		Threshold:    req.Threshold,
@@ -353,6 +422,13 @@ func (m *jobManager) run(j *job) {
 		Seed:         req.Seed,
 		Workers:      m.perJobWorkers,
 		Observer:     observer,
+	}
+	if cfg.Delta == 0 && m.budget != nil && privateRequest(req) {
+		// Budget-charged runs compose at the ledger's δ; calibrating the
+		// run at the same δ keeps its committed spend equal to its
+		// requested ε. (A run at a looser δ converts to a larger ε at the
+		// ledger — correct, but it would overdraw its own reservation.)
+		cfg.Delta = m.budget.Delta()
 	}
 	if req.GNN != "" {
 		cfg.GNNKind = gnn.Kind(req.GNN)
@@ -404,13 +480,33 @@ func (m *jobManager) run(j *job) {
 	if err != nil {
 		j.status.State = JobFailed
 		j.status.Error = err.Error()
+		// The ε the trainer had released before failing (0 when it never
+		// completed an iteration) — spent budget, success or not.
+		j.status.EpsilonSpent = math.Float64frombits(lastEps.Load())
+		if m.budget != nil && privateRequest(req) {
+			m.budget.Commit(id, tenant, fp, ledger.Charge{Epsilon: j.status.EpsilonSpent})
+		}
 	} else {
 		j.status.State = JobDone
 		j.status.Model = modelRef
 		j.status.EpsilonSpent = res.EpsilonSpent
 		j.status.Private = res.Private
 		j.status.NumSubgraphs = res.NumSubgraphs
+		if m.budget != nil && res.Private {
+			// Commit the run's accountant parameters, not just the scalar:
+			// later runs against the same (tenant, graph) compose with this
+			// one at the RDP level, which is strictly tighter.
+			acct, _ := res.Accountant()
+			m.budget.Commit(id, tenant, fp, ledger.Charge{
+				Acct:       acct,
+				Iterations: res.Config.Iterations,
+				Epsilon:    res.EpsilonSpent,
+			})
+		}
 	}
+	// Ledger commits above come before the job-table append: a crash in
+	// between leaves the spend recorded and the terminal-state commit
+	// idempotent, never a replayed job with a vanished charge.
 	m.persistLocked(j)
 	m.mu.Unlock()
 	if err == nil && cfg.CheckpointDir != "" {

@@ -27,7 +27,7 @@ func TestJobQueueBoundsAndCancel(t *testing.T) {
 	m := newIdleManager(1)
 	g := graph.NewWithNodes(4, true)
 
-	st, err := m.Submit(TrainRequest{Graph: "g"}, g, "")
+	st, err := m.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestJobQueueBoundsAndCancel(t *testing.T) {
 		t.Fatalf("state = %s, want queued", st.State)
 	}
 
-	if _, err := m.Submit(TrainRequest{Graph: "g"}, g, ""); !errors.Is(err, errQueueFull) {
+	if _, err := m.Submit(TrainRequest{Graph: "g"}, g, "", ""); !errors.Is(err, errQueueFull) {
 		t.Fatalf("overfull submit err = %v, want errQueueFull", err)
 	}
 
@@ -63,7 +63,7 @@ func TestJobManagerDrainRejectsNewWork(t *testing.T) {
 	if err := m.Shutdown(ctx); err != nil {
 		t.Fatalf("Shutdown: %v", err)
 	}
-	if _, err := m.Submit(TrainRequest{Graph: "g"}, g, ""); !errors.Is(err, errDraining) {
+	if _, err := m.Submit(TrainRequest{Graph: "g"}, g, "", ""); !errors.Is(err, errDraining) {
 		t.Fatalf("post-drain submit err = %v, want errDraining", err)
 	}
 	// Shutdown is idempotent.
@@ -78,7 +78,7 @@ func TestCanceledJobIsSkippedByWorker(t *testing.T) {
 	// the run-time state guard must still refuse to execute it.
 	m := newIdleManager(1)
 	g := graph.NewWithNodes(4, true)
-	st, err := m.Submit(TrainRequest{Graph: "g"}, g, "")
+	st, err := m.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,13 +109,13 @@ func TestCancelReleasesQueueSlot(t *testing.T) {
 
 	ids := make([]string, 0, capacity)
 	for i := 0; i < capacity; i++ {
-		st, err := m.Submit(TrainRequest{Graph: "g"}, g, "")
+		st, err := m.Submit(TrainRequest{Graph: "g"}, g, "", "")
 		if err != nil {
 			t.Fatal(err)
 		}
 		ids = append(ids, st.ID)
 	}
-	if _, err := m.Submit(TrainRequest{Graph: "g"}, g, ""); !errors.Is(err, errQueueFull) {
+	if _, err := m.Submit(TrainRequest{Graph: "g"}, g, "", ""); !errors.Is(err, errQueueFull) {
 		t.Fatalf("overfull submit err = %v, want errQueueFull", err)
 	}
 	for _, id := range ids {
@@ -125,11 +125,11 @@ func TestCancelReleasesQueueSlot(t *testing.T) {
 	}
 	// Every canceled slot is free again.
 	for i := 0; i < capacity; i++ {
-		if _, err := m.Submit(TrainRequest{Graph: "g"}, g, ""); err != nil {
+		if _, err := m.Submit(TrainRequest{Graph: "g"}, g, "", ""); err != nil {
 			t.Fatalf("submit %d after cancels: %v", i, err)
 		}
 	}
-	if _, err := m.Submit(TrainRequest{Graph: "g"}, g, ""); !errors.Is(err, errQueueFull) {
+	if _, err := m.Submit(TrainRequest{Graph: "g"}, g, "", ""); !errors.Is(err, errQueueFull) {
 		t.Fatalf("refilled queue should be full again, got %v", err)
 	}
 }
@@ -147,7 +147,7 @@ func TestRejectedSubmitDoesNotConsumeID(t *testing.T) {
 	})
 	g := graph.NewWithNodes(4, true)
 
-	first, err := m.Submit(TrainRequest{Graph: "g"}, g, "")
+	first, err := m.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,14 +155,14 @@ func TestRejectedSubmitDoesNotConsumeID(t *testing.T) {
 		t.Fatalf("first ID = %s", first.ID)
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := m.Submit(TrainRequest{Graph: "g"}, g, ""); !errors.Is(err, errQueueFull) {
+		if _, err := m.Submit(TrainRequest{Graph: "g"}, g, "", ""); !errors.Is(err, errQueueFull) {
 			t.Fatalf("submit into full queue: %v", err)
 		}
 	}
 	if _, err := m.Cancel(first.ID); err != nil {
 		t.Fatal(err)
 	}
-	second, err := m.Submit(TrainRequest{Graph: "g"}, g, "")
+	second, err := m.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,8 +187,8 @@ func TestQueuedGaugeTracksQueue(t *testing.T) {
 	g := graph.NewWithNodes(4, true)
 	queued := metrics.Gauge("serve.jobs.queued")
 
-	a, _ := m.Submit(TrainRequest{Graph: "g"}, g, "")
-	b, _ := m.Submit(TrainRequest{Graph: "g"}, g, "")
+	a, _ := m.Submit(TrainRequest{Graph: "g"}, g, "", "")
+	b, _ := m.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	if v := queued.Value(); v != 2 {
 		t.Fatalf("queued gauge = %v, want 2", v)
 	}

@@ -146,6 +146,11 @@ func (m *jobManager) recover(lookup func(string) *graph.Graph) (requeued, failed
 			m.nextID = n
 		}
 		j := &job{status: rec.Status, req: rec.Req}
+		if j.status.Tenant == "" {
+			// Pre-ledger job tables carry no tenant; their spend belongs to
+			// the default account.
+			j.status.Tenant = DefaultTenant
+		}
 		m.jobs[id] = j
 		m.order = append(m.order, id)
 		switch rec.Status.State {
@@ -157,6 +162,18 @@ func (m *jobManager) recover(lookup func(string) *graph.Graph) (requeued, failed
 				j.status.Finished = time.Now()
 				failed++
 				m.metrics.Counter("serve.jobs.orphaned").Inc()
+				// Settle the job's replayed reservation: a job that never
+				// ran spent nothing (refund); an interrupted run's true
+				// spend is unknowable, so its full reservation is forfeited
+				// — the conservative resolution. Ledger before job table,
+				// as everywhere.
+				if m.budget != nil {
+					if interrupted {
+						m.budget.Forfeit(id)
+					} else {
+						m.budget.Refund(id)
+					}
+				}
 				m.persistLocked(j)
 				m.logf("serve: recovery: %s failed: %s", id, reason)
 			}
@@ -168,6 +185,9 @@ func (m *jobManager) recover(lookup func(string) *graph.Graph) (requeued, failed
 			if interrupted && !hasRecoverableCheckpoint(m.checkpointDir(id)) {
 				fail("interrupted before a durable checkpoint; not recoverable")
 				continue
+			}
+			if j.status.Fingerprint == "" {
+				j.status.Fingerprint = fmt.Sprintf("%016x", g.Fingerprint())
 			}
 			j.g = g
 			j.status.State = JobQueued

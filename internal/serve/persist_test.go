@@ -75,15 +75,15 @@ func TestJobTableReplayAfterRestart(t *testing.T) {
 	g := persistTestGraph()
 
 	m1 := newPersistManager(dir)
-	running, err := m1.Submit(TrainRequest{Graph: "g"}, g, "")
+	running, err := m1.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	canceled, err := m1.Submit(TrainRequest{Graph: "g"}, g, "")
+	canceled, err := m1.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := m1.Submit(TrainRequest{Graph: "g"}, g, "")
+	queued, err := m1.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestJobTableReplayAfterRestart(t *testing.T) {
 		t.Fatalf("queued job came back as %s", st.State)
 	}
 	// ID allocation continues after the highest recovered ID.
-	next, err := m2.Submit(TrainRequest{Graph: "g"}, g, "")
+	next, err := m2.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestRecoverRequeuesCheckpointedInterruptedJob(t *testing.T) {
 	g := persistTestGraph()
 
 	m1 := newPersistManager(dir)
-	st, err := m1.Submit(TrainRequest{Graph: "g"}, g, "")
+	st, err := m1.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestRecoverTreatsCorruptOnlyCheckpointsAsOrphan(t *testing.T) {
 	dir := t.TempDir()
 	g := persistTestGraph()
 	m1 := newPersistManager(dir)
-	st, err := m1.Submit(TrainRequest{Graph: "g"}, g, "")
+	st, err := m1.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestJobTableSkipsCorruptLines(t *testing.T) {
 	g := persistTestGraph()
 
 	m1 := newPersistManager(dir)
-	a, _ := m1.Submit(TrainRequest{Graph: "g"}, g, "")
+	a, _ := m1.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	// Torn and garbage lines interleave the valid tail records.
 	f, err := os.OpenFile(m1.jobTablePath(), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -205,7 +205,7 @@ func TestJobTableSkipsCorruptLines(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	b, err := m1.Submit(TrainRequest{Graph: "g"}, g, "")
+	b, err := m1.Submit(TrainRequest{Graph: "g"}, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestRecoverFailsJobsWithMissingGraph(t *testing.T) {
 	dir := t.TempDir()
 	g := persistTestGraph()
 	m1 := newPersistManager(dir)
-	st, err := m1.Submit(TrainRequest{Graph: "gone"}, g, "")
+	st, err := m1.Submit(TrainRequest{Graph: "gone"}, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,7 @@ func TestInterruptedJobResumesAndMatchesBaseline(t *testing.T) {
 	}
 
 	m1 := newPersistManager(dir)
-	st, err := m1.Submit(req, g, "")
+	st, err := m1.Submit(req, g, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,9 +29,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
+	"privim/internal/ledger"
 	"privim/internal/obs"
 )
 
@@ -51,6 +53,21 @@ type Options struct {
 	// CheckpointEvery is the training-checkpoint cadence in iterations
 	// for jobs run under a JournalDir (default 10).
 	CheckpointEvery int
+
+	// Budget is the per-(tenant, graph fingerprint) privacy budget ε the
+	// ledger enforces at job admission: a private training job reserves
+	// its requested ε before it is queued, and an exhausted budget denies
+	// the submission with 403. 0 disables enforcement (spend is still
+	// recorded when a ledger file is configured).
+	Budget float64
+	// BudgetDelta is the δ at which the ledger's composed RDP spend
+	// converts to ε (default 1e-5).
+	BudgetDelta float64
+	// BudgetLedger is the append-only ledger.jsonl path; defaults to
+	// <JournalDir>/ledger.jsonl when JournalDir is set, so the budget
+	// survives restarts alongside the job table. Set explicitly to place
+	// it elsewhere, or leave JournalDir empty for an in-memory ledger.
+	BudgetLedger string
 
 	// MaxConcurrent bounds in-flight requests across all /v1 endpoints;
 	// excess requests get 429 (default 8).
@@ -101,6 +118,12 @@ func (o *Options) fillDefaults() {
 	if o.CacheSize == 0 {
 		o.CacheSize = 256
 	}
+	if o.BudgetDelta == 0 {
+		o.BudgetDelta = 1e-5
+	}
+	if o.BudgetLedger == "" && o.JournalDir != "" {
+		o.BudgetLedger = filepath.Join(o.JournalDir, "ledger.jsonl")
+	}
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
 	}
@@ -118,6 +141,7 @@ type Server struct {
 	graphs    *graphStore
 	cache     *lruCache
 	jobs      *jobManager
+	budget    *ledger.Ledger // nil when neither Budget nor BudgetLedger is set
 	admission *admission
 	mux       *http.ServeMux
 	handler   http.Handler
@@ -141,6 +165,23 @@ func New(opts Options) (*Server, error) {
 		}
 		opts.Logf("serve: loaded %d checkpoint(s) from %s", n, opts.ModelsDir)
 	}
+	// The budget ledger exists when enforcement or durable tracking is
+	// asked for. It replays its ledger.jsonl here, before RecoverJobs
+	// runs, so recovered jobs see their reservations and cannot
+	// double-spend.
+	if opts.Budget > 0 || opts.BudgetLedger != "" {
+		l, err := ledger.Open(ledger.Options{
+			Budget:   opts.Budget,
+			Delta:    opts.BudgetDelta,
+			Path:     opts.BudgetLedger,
+			Observer: obs.Multi(opts.Observer, opts.Registry),
+			Logf:     opts.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening budget ledger: %w", err)
+		}
+		s.budget = l
+	}
 	// Training events always aggregate into the server registry (so
 	// /metrics covers job telemetry) alongside any caller observer.
 	s.jobs = newJobManager(jobManagerOptions{
@@ -152,6 +193,7 @@ func New(opts Options) (*Server, error) {
 		models:          s.models,
 		metrics:         s.reg,
 		logf:            opts.Logf,
+		budget:          s.budget,
 	})
 	s.admission = newAdmission(opts.MaxConcurrent, s.reg)
 	s.buildRoutes()
@@ -225,6 +267,7 @@ func (s *Server) buildRoutes() {
 	handle("POST /v1/seeds", admit(timeout(hf(s.handleSeeds))))
 
 	handle("POST /v1/train", admit(timeout(hf(s.handleTrain))))
+	handle("GET /v1/budget", admit(hf(s.handleBudget)))
 	handle("GET /v1/jobs", admit(hf(s.handleJobList)))
 	handle("GET /v1/jobs/{id}", admit(hf(s.handleJobGet)))
 	handle("DELETE /v1/jobs/{id}", admit(hf(s.handleJobCancel)))
