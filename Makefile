@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race cover bench bench-all bench-smoke suite suite-paper examples fuzz serve-smoke crash-smoke budget-smoke trace-smoke clean
+.PHONY: all build test vet lint race cover bench bench-all bench-smoke bench-diff alloc-smoke suite suite-paper examples fuzz serve-smoke crash-smoke budget-smoke trace-smoke clean
 
 all: build vet test
 
@@ -30,9 +30,28 @@ cover:
 	$(GO) test -cover ./...
 
 # Worker-pool kernel benchmarks at widths 1/2/4/8, aggregated into
-# BENCH_PR3.json (ns/op, allocs/op, speedup vs serial) by cmd/benchjson.
+# BENCH_PR8.json (ns/op, allocs/op, speedup vs serial, and deltas against
+# the checked-in BENCH_PR3.json baseline) by cmd/benchjson.
 bench:
-	$(GO) test -run '^$$' -bench=BenchmarkParallel -benchmem -count=3 . | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+	$(GO) test -run '^$$' -bench=BenchmarkParallel -benchmem -count=3 . | \
+		$(GO) run ./cmd/benchjson -baseline BENCH_PR3.json -o BENCH_PR8.json
+
+# Allocation-regression gate: re-run the kernel benchmarks and fail when
+# any benchmark's allocs/op regresses by more than 10% against the
+# checked-in BENCH_PR3.json baseline. ns/op deltas are reported but never
+# gate (wall-clock is machine-dependent; allocation counts are not).
+bench-diff:
+	$(GO) test -run '^$$' -bench=BenchmarkParallel -benchtime=2x -benchmem . | \
+		$(GO) run ./cmd/benchjson -baseline BENCH_PR3.json -max-allocs-regress 10 -o /dev/null
+
+# Steady-state allocation pins plus pooled-path determinism: the alloc
+# floors run without -race (the race runtime drops sync.Pool Puts, so
+# floors don't hold there); the workers-1-vs-N bit-equality re-runs over
+# the same pooled paths run under -race.
+alloc-smoke:
+	$(GO) test -run 'SteadyState' -v ./internal/privim/ ./internal/diffusion/ ./internal/im/ | grep -v '^=== RUN'
+	$(GO) test -race -run 'WorkerInvariant|BitExact|StreamStable' \
+		./internal/privim/ ./internal/diffusion/ ./internal/im/ ./internal/nn/ ./internal/tensor/ ./internal/autodiff/
 
 # The historical full sweep: every benchmark in the repo, once.
 bench-all:

@@ -60,18 +60,36 @@ type Speedup struct {
 	Speedup float64 `json:"speedup_vs_serial"`
 }
 
+// Delta compares one benchmark against the same-named entry of a
+// baseline report. Percentages are computed against max(base, 1) so a
+// zero-alloc baseline still yields a finite, JSON-encodable number.
+type Delta struct {
+	Name            string  `json:"name"`
+	BaseNsPerOp     float64 `json:"base_ns_per_op"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	NsPct           float64 `json:"ns_per_op_delta_pct"`
+	BaseAllocsPerOp float64 `json:"base_allocs_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	AllocsPct       float64 `json:"allocs_per_op_delta_pct"`
+}
+
 // Report is the emitted JSON document.
 type Report struct {
 	GoVersion  string    `json:"go_version"`
 	GOMAXPROCS int       `json:"gomaxprocs"`
 	NumCPU     int       `json:"num_cpu"`
+	Baseline   string    `json:"baseline,omitempty"`
 	Benchmarks []Bench   `json:"benchmarks"`
 	Speedups   []Speedup `json:"speedups,omitempty"`
+	Deltas     []Delta   `json:"deltas,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "-", "output path (- for stdout)")
 	validate := flag.Bool("validate", false, "require at least one benchmark and a round-trippable report")
+	baseline := flag.String("baseline", "", "baseline report (a prior benchjson -o file) to diff against")
+	maxAllocsRegress := flag.Float64("max-allocs-regress", 0,
+		"with -baseline: exit 1 when any benchmark's allocs/op regresses by more than this percentage (0 disables)")
 	flag.Parse()
 
 	samples := make(map[string][]sample)
@@ -110,6 +128,14 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, aggregate(name, samples[name]))
 	}
 	rep.Speedups = speedups(rep.Benchmarks)
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fatal("benchjson: baseline: %v", err)
+		}
+		rep.Baseline = *baseline
+		rep.Deltas = deltas(base, rep.Benchmarks)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -134,13 +160,72 @@ func main() {
 
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal("benchjson: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks (%d speedup rows, %d delta rows) to %s\n",
+			len(rep.Benchmarks), len(rep.Speedups), len(rep.Deltas), *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatal("benchjson: %v", err)
+
+	if *baseline != "" && *maxAllocsRegress > 0 {
+		bad := false
+		for _, d := range rep.Deltas {
+			if d.AllocsPct > *maxAllocsRegress {
+				fmt.Fprintf(os.Stderr, "benchjson: allocs regression: %s %.0f -> %.0f allocs/op (%+.1f%% > %.1f%%)\n",
+					d.Name, d.BaseAllocsPerOp, d.AllocsPerOp, d.AllocsPct, *maxAllocsRegress)
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks (%d speedup rows) to %s\n",
-		len(rep.Benchmarks), len(rep.Speedups), *out)
+}
+
+// loadReport reads a previously emitted report from disk.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %v", path, err)
+	}
+	return rep, nil
+}
+
+// deltas pairs current benchmarks with same-named baseline entries.
+func deltas(base Report, cur []Bench) []Delta {
+	byName := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	pct := func(from, to float64) float64 {
+		den := from
+		if den < 1 {
+			den = 1
+		}
+		return 100 * (to - from) / den
+	}
+	var out []Delta
+	for _, b := range cur {
+		old, ok := byName[b.Name]
+		if !ok {
+			continue
+		}
+		out = append(out, Delta{
+			Name:            b.Name,
+			BaseNsPerOp:     old.NsPerOp,
+			NsPerOp:         b.NsPerOp,
+			NsPct:           pct(old.NsPerOp, b.NsPerOp),
+			BaseAllocsPerOp: old.AllocsPerOp,
+			AllocsPerOp:     b.AllocsPerOp,
+			AllocsPct:       pct(old.AllocsPerOp, b.AllocsPerOp),
+		})
+	}
+	return out
 }
 
 // stripProcSuffix removes the trailing -GOMAXPROCS go test appends

@@ -8,6 +8,14 @@
 // and Backward walks the tape in reverse creation order (a valid topological
 // order by construction). Gradients are exact; the test suite verifies every
 // operator against central finite differences.
+//
+// Nodes carry an opcode plus operand references instead of per-op backward
+// closures, and every intermediate matrix (values, gradients, op scratch) is
+// drawn from a tape-owned free pool. Tape.Reset rewinds the node arena and
+// recycles the matrices, so a steady-state forward/backward pass on a reused
+// tape allocates nothing: per-sample DP-SGD loops reset one tape per worker
+// instead of building ~10³ matrices per example. Matrices handed out by a
+// tape are owned by it — copy results out before Reset.
 package autodiff
 
 import (
@@ -17,13 +25,52 @@ import (
 	"privim/internal/tensor"
 )
 
-// Tape records the computation graph for one forward pass. Tapes are cheap;
-// create a fresh one per training example and discard it after Backward.
-// Nodes are allocated from an internal arena so a GNN forward/backward
-// pass costs a handful of allocations instead of one per operation.
+// opcode identifies how a node was produced, which determines its backward
+// rule. Operand references live in Node.x/y plus op-specific fields.
+type opcode uint8
+
+const (
+	opLeaf opcode = iota
+	opMatMul
+	opAdd
+	opSub
+	opMul
+	opScale
+	opAddScalar
+	opOneMinus
+	opAddRowBroadcast
+	opReLU
+	opLeakyReLU
+	opSigmoid
+	opExp
+	opLog
+	opTanh
+	opSum
+	opConcatCols
+	opSpMM
+	opGatherRows
+	opScatterAddRows
+	opMulColBroadcast
+	opSegmentSoftmax
+)
+
+// arenaChunk is the node-arena block size: one GNN forward/backward pass
+// records a few hundred nodes, so a handful of blocks cover it.
+const arenaChunk = 128
+
+// Tape records the computation graph for one forward pass. A fresh tape is
+// cheap, but the intended steady-state pattern is one long-lived tape per
+// worker with Reset between examples: Reset rewinds the node arena and
+// returns every tape-allocated matrix to an internal free pool, so repeated
+// passes of the same shape allocate nothing.
 type Tape struct {
-	nodes []*Node
-	arena []Node
+	nodes  []*Node
+	blocks [][]Node // node arena, reused across Reset
+	block  int      // current block index
+	used   int      // nodes handed out of blocks[block]
+
+	owned []*tensor.Matrix // matrices handed out since the last Reset
+	free  []*tensor.Matrix // recycled matrices available to take
 }
 
 // NewTape returns an empty tape.
@@ -32,33 +79,88 @@ func NewTape() *Tape { return &Tape{} }
 // Len returns the number of recorded nodes (useful in tests).
 func (t *Tape) Len() int { return len(t.nodes) }
 
-// alloc hands out a zeroed node from the arena, growing it chunk-wise.
+// Reset rewinds the tape for a fresh forward pass, recycling every node and
+// every matrix the tape allocated (values, gradients, op scratch). All Nodes
+// and tape-owned matrices from the previous pass become invalid: anything
+// that must survive — losses, scores, gradients — has to be copied out
+// first (nn.Collect does). Leaf matrices are caller-owned and untouched.
+func (t *Tape) Reset() {
+	t.nodes = t.nodes[:0]
+	t.block, t.used = 0, 0
+	t.free = append(t.free, t.owned...)
+	t.owned = t.owned[:0]
+}
+
+// alloc hands out a zeroed node from the arena, growing it block-wise.
 func (t *Tape) alloc() *Node {
-	if len(t.arena) == 0 {
-		t.arena = make([]Node, 64)
+	if t.block == len(t.blocks) {
+		t.blocks = append(t.blocks, make([]Node, arenaChunk))
 	}
-	n := &t.arena[0]
-	t.arena = t.arena[1:]
+	blk := t.blocks[t.block]
+	n := &blk[t.used]
+	t.used++
+	if t.used == len(blk) {
+		t.block++
+		t.used = 0
+	}
+	*n = Node{}
 	return n
+}
+
+// take hands out a rows×cols matrix from the tape's free pool, allocating
+// only when no recycled buffer is large enough. The matrix belongs to the
+// tape and is reclaimed by Reset. zero controls whether the contents are
+// cleared (required for accumulation targets; skipped for overwrite fills).
+func (t *Tape) take(rows, cols int, zero bool) *tensor.Matrix {
+	need := rows * cols
+	for i := len(t.free) - 1; i >= 0; i-- {
+		m := t.free[i]
+		if cap(m.Data) >= need {
+			last := len(t.free) - 1
+			t.free[i] = t.free[last]
+			t.free[last] = nil
+			t.free = t.free[:last]
+			m.Rows, m.Cols = rows, cols
+			m.Data = m.Data[:need]
+			if zero {
+				for j := range m.Data {
+					m.Data[j] = 0
+				}
+			}
+			t.owned = append(t.owned, m)
+			return m
+		}
+	}
+	m := tensor.New(rows, cols) // fresh buffers come back zeroed
+	t.owned = append(t.owned, m)
+	return m
 }
 
 // Node is one value in the computation graph.
 type Node struct {
 	// Value holds the forward result. Grad accumulates ∂output/∂Value during
 	// Backward; it is nil until the node participates in a backward pass.
+	// Both are tape-owned for non-leaf nodes: valid only until Tape.Reset.
 	Value *tensor.Matrix
 	Grad  *tensor.Matrix
 
-	tape     *Tape
-	backward func()
-	isLeaf   bool
+	tape *Tape
+	op   opcode
+	x, y *Node
+
+	// Op-specific payload (see the opcode's constructor).
+	scalar float64    // opScale, opAddScalar, opLeakyReLU
+	idx    []int32    // opGatherRows, opScatterAddRows, opSegmentSoftmax seg
+	sparse *SparseMat // opSpMM
+	n      int        // opSegmentSoftmax numSegments
 }
 
-func (t *Tape) add(val *tensor.Matrix, back func()) *Node {
+func (t *Tape) add(op opcode, val *tensor.Matrix, x, y *Node) *Node {
 	n := t.alloc()
 	n.Value = val
 	n.tape = t
-	n.backward = back
+	n.op = op
+	n.x, n.y = x, y
 	t.nodes = append(t.nodes, n)
 	return n
 }
@@ -68,9 +170,7 @@ func (t *Tape) add(val *tensor.Matrix, back func()) *Node {
 // inputs). The matrix is used by reference: callers must not mutate it while
 // the tape is live.
 func (t *Tape) Leaf(m *tensor.Matrix) *Node {
-	n := t.add(m, nil)
-	n.isLeaf = true
-	return n
+	return t.add(opLeaf, m, nil, nil)
 }
 
 // Tape returns the tape the node is recorded on.
@@ -79,7 +179,7 @@ func (n *Node) Tape() *Tape { return n.tape }
 // grad returns the node's gradient accumulator, allocating on first use.
 func (n *Node) grad() *tensor.Matrix {
 	if n.Grad == nil {
-		n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+		n.Grad = n.tape.take(n.Value.Rows, n.Value.Cols, true)
 	}
 	return n.Grad
 }
@@ -97,9 +197,158 @@ func (t *Tape) Backward(out *Node) {
 	// Reverse creation order is a topological order of the DAG.
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		n := t.nodes[i]
-		if n.Grad != nil && n.backward != nil {
-			n.backward()
+		if n.Grad != nil && n.op != opLeaf {
+			n.step()
 		}
+	}
+}
+
+// step applies one node's backward rule, accumulating into its operands'
+// gradients. Dispatch is a switch over the opcode rather than a stored
+// closure so recording an op never allocates.
+func (n *Node) step() {
+	switch n.op {
+	case opMatMul:
+		// dA += dOut·Bᵀ ; dB += Aᵀ·dOut — transpose-free kernels.
+		tensor.MatMulNTInto(n.x.grad(), n.Grad, n.y.Value)
+		tensor.MatMulTNInto(n.y.grad(), n.x.Value, n.Grad)
+	case opAdd:
+		tensor.AXPY(n.x.grad(), 1, n.Grad)
+		tensor.AXPY(n.y.grad(), 1, n.Grad)
+	case opSub:
+		tensor.AXPY(n.x.grad(), 1, n.Grad)
+		tensor.AXPY(n.y.grad(), -1, n.Grad)
+	case opMul:
+		ga, gb := n.x.grad(), n.y.grad()
+		av, bv := n.x.Value.Data, n.y.Value.Data
+		for i, g := range n.Grad.Data {
+			ga.Data[i] += g * bv[i]
+			gb.Data[i] += g * av[i]
+		}
+	case opScale:
+		tensor.AXPY(n.x.grad(), n.scalar, n.Grad)
+	case opAddScalar:
+		tensor.AXPY(n.x.grad(), 1, n.Grad)
+	case opOneMinus:
+		tensor.AXPY(n.x.grad(), -1, n.Grad)
+	case opAddRowBroadcast:
+		tensor.AXPY(n.x.grad(), 1, n.Grad)
+		gb := n.y.grad()
+		for i := 0; i < n.Grad.Rows; i++ {
+			row := n.Grad.Row(i)
+			for j, g := range row {
+				gb.Data[j] += g
+			}
+		}
+	case opReLU:
+		ga := n.x.grad()
+		xv := n.x.Value.Data
+		for i, g := range n.Grad.Data {
+			if xv[i] > 0 {
+				ga.Data[i] += g
+			}
+		}
+	case opLeakyReLU:
+		ga := n.x.grad()
+		xv := n.x.Value.Data
+		for i, g := range n.Grad.Data {
+			if xv[i] > 0 {
+				ga.Data[i] += g
+			} else {
+				ga.Data[i] += n.scalar * g
+			}
+		}
+	case opSigmoid:
+		ga := n.x.grad()
+		for i, g := range n.Grad.Data {
+			s := n.Value.Data[i]
+			ga.Data[i] += g * s * (1 - s)
+		}
+	case opExp:
+		ga := n.x.grad()
+		for i, g := range n.Grad.Data {
+			ga.Data[i] += g * n.Value.Data[i]
+		}
+	case opLog:
+		ga := n.x.grad()
+		xv := n.x.Value.Data
+		for i, g := range n.Grad.Data {
+			if xv[i] >= logFloor {
+				ga.Data[i] += g / xv[i]
+			}
+			// Below the floor the function is constant: zero gradient.
+		}
+	case opTanh:
+		ga := n.x.grad()
+		for i, g := range n.Grad.Data {
+			th := n.Value.Data[i]
+			ga.Data[i] += g * (1 - th*th)
+		}
+	case opSum:
+		g := n.Grad.Data[0]
+		ga := n.x.grad()
+		for i := range ga.Data {
+			ga.Data[i] += g
+		}
+	case opConcatCols:
+		ga, gb := n.x.grad(), n.y.grad()
+		ca, cb := n.x.Value.Cols, n.y.Value.Cols
+		for i := 0; i < n.Grad.Rows; i++ {
+			grow := n.Grad.Row(i)
+			arow, brow := ga.Row(i), gb.Row(i)
+			for j := 0; j < ca; j++ {
+				arow[j] += grow[j]
+			}
+			for j := 0; j < cb; j++ {
+				brow[j] += grow[ca+j]
+			}
+		}
+	case opSpMM:
+		spmmBackward(n.sparse, n.Grad, n.x.grad())
+	case opGatherRows:
+		gx := n.x.grad()
+		for i, r := range n.idx {
+			grow := n.Grad.Row(i)
+			xrow := gx.Row(int(r))
+			for j, g := range grow {
+				xrow[j] += g
+			}
+		}
+	case opScatterAddRows:
+		gx := n.x.grad()
+		for i, r := range n.idx {
+			grow := n.Grad.Row(int(r))
+			xrow := gx.Row(i)
+			for j, g := range grow {
+				xrow[j] += g
+			}
+		}
+	case opMulColBroadcast:
+		gx, ga := n.x.grad(), n.y.grad()
+		for i := 0; i < n.Value.Rows; i++ {
+			a := n.y.Value.Data[i]
+			grow := n.Grad.Row(i)
+			xrow := n.x.Value.Row(i)
+			gxrow := gx.Row(i)
+			dot := 0.0
+			for j, g := range grow {
+				gxrow[j] += a * g
+				dot += g * xrow[j]
+			}
+			ga.Data[i] += dot
+		}
+	case opSegmentSoftmax:
+		gs := n.x.grad()
+		// For each segment: ds_i = a_i (g_i − Σ_k a_k g_k).
+		dots := n.tape.take(n.n, 1, true)
+		for i, s := range n.idx {
+			dots.Data[s] += n.Value.Data[i] * n.Grad.Data[i]
+		}
+		for i, s := range n.idx {
+			gs.Data[i] += n.Value.Data[i] * (n.Grad.Data[i] - dots.Data[s])
+		}
+	default:
+		panic(fmt.Sprintf("autodiff: unknown opcode %d", n.op))
 	}
 }
 
@@ -116,71 +365,74 @@ func sameTape(op string, nodes ...*Node) *Tape {
 // MatMul returns a×b.
 func MatMul(a, b *Node) *Node {
 	t := sameTape("MatMul", a, b)
-	out := t.add(tensor.MatMul(a.Value, b.Value), nil)
-	out.backward = func() {
-		// dA += dOut · Bᵀ ; dB += Aᵀ · dOut
-		tensor.MatMulInto(a.grad(), out.Grad, tensor.Transpose(b.Value), true)
-		tensor.MatMulInto(b.grad(), tensor.Transpose(a.Value), out.Grad, true)
-	}
-	return out
+	val := t.take(a.Value.Rows, b.Value.Cols, false)
+	tensor.MatMulInto(val, a.Value, b.Value, false)
+	return t.add(opMatMul, val, a, b)
 }
 
 // Add returns a+b elementwise.
 func Add(a, b *Node) *Node {
 	t := sameTape("Add", a, b)
-	out := t.add(tensor.Add(a.Value, b.Value), nil)
-	out.backward = func() {
-		tensor.AXPY(a.grad(), 1, out.Grad)
-		tensor.AXPY(b.grad(), 1, out.Grad)
+	val := t.take(a.Value.Rows, a.Value.Cols, false)
+	bd := b.Value.Data
+	for i, v := range a.Value.Data {
+		val.Data[i] = v + bd[i]
 	}
-	return out
+	return t.add(opAdd, val, a, b)
 }
 
 // Sub returns a−b elementwise.
 func Sub(a, b *Node) *Node {
 	t := sameTape("Sub", a, b)
-	out := t.add(tensor.Sub(a.Value, b.Value), nil)
-	out.backward = func() {
-		tensor.AXPY(a.grad(), 1, out.Grad)
-		tensor.AXPY(b.grad(), -1, out.Grad)
+	val := t.take(a.Value.Rows, a.Value.Cols, false)
+	bd := b.Value.Data
+	for i, v := range a.Value.Data {
+		val.Data[i] = v - bd[i]
 	}
-	return out
+	return t.add(opSub, val, a, b)
 }
 
 // Mul returns the Hadamard product a∘b.
 func Mul(a, b *Node) *Node {
 	t := sameTape("Mul", a, b)
-	out := t.add(tensor.Mul(a.Value, b.Value), nil)
-	out.backward = func() {
-		ga, gb := a.grad(), b.grad()
-		for i, g := range out.Grad.Data {
-			ga.Data[i] += g * b.Value.Data[i]
-			gb.Data[i] += g * a.Value.Data[i]
-		}
+	val := t.take(a.Value.Rows, a.Value.Cols, false)
+	bd := b.Value.Data
+	for i, v := range a.Value.Data {
+		val.Data[i] = v * bd[i]
 	}
-	return out
+	return t.add(opMul, val, a, b)
 }
 
 // Scale returns s·a for a constant scalar s.
 func Scale(a *Node, s float64) *Node {
-	out := a.tape.add(tensor.Scale(a.Value, s), nil)
-	out.backward = func() { tensor.AXPY(a.grad(), s, out.Grad) }
+	val := a.tape.take(a.Value.Rows, a.Value.Cols, false)
+	for i, v := range a.Value.Data {
+		val.Data[i] = s * v
+	}
+	out := a.tape.add(opScale, val, a, nil)
+	out.scalar = s
 	return out
 }
 
 // AddScalar returns a+s elementwise for a constant scalar s.
 func AddScalar(a *Node, s float64) *Node {
-	out := a.tape.add(tensor.Apply(a.Value, func(v float64) float64 { return v + s }), nil)
-	out.backward = func() { tensor.AXPY(a.grad(), 1, out.Grad) }
+	val := a.tape.take(a.Value.Rows, a.Value.Cols, false)
+	for i, v := range a.Value.Data {
+		val.Data[i] = v + s
+	}
+	out := a.tape.add(opAddScalar, val, a, nil)
+	out.scalar = s
 	return out
 }
 
 // OneMinus returns 1−a elementwise (convenience for the IM loss's survival
 // probabilities).
 func OneMinus(a *Node) *Node {
-	out := a.tape.add(tensor.Apply(a.Value, func(v float64) float64 { return 1 - v }), nil)
-	out.backward = func() { tensor.AXPY(a.grad(), -1, out.Grad) }
-	return out
+	val := a.tape.take(a.Value.Rows, a.Value.Cols, false)
+	for i, v := range a.Value.Data {
+		val.Data[i] = 1 - v
+	}
+	return a.tape.add(opOneMinus, val, a, nil)
 }
 
 // AddRowBroadcast returns a + bias where bias is 1×cols and is added to
@@ -191,78 +443,53 @@ func AddRowBroadcast(a, bias *Node) *Node {
 		panic(fmt.Sprintf("autodiff: AddRowBroadcast bias %dx%d vs a %dx%d",
 			bias.Value.Rows, bias.Value.Cols, a.Value.Rows, a.Value.Cols))
 	}
-	val := a.Value.Clone()
+	val := t.take(a.Value.Rows, a.Value.Cols, false)
+	bd := bias.Value.Data
 	for i := 0; i < val.Rows; i++ {
-		row := val.Row(i)
-		for j, b := range bias.Value.Data {
-			row[j] += b
+		arow := a.Value.Row(i)
+		vrow := val.Row(i)
+		for j, v := range arow {
+			vrow[j] = v + bd[j]
 		}
 	}
-	out := t.add(val, nil)
-	out.backward = func() {
-		tensor.AXPY(a.grad(), 1, out.Grad)
-		gb := bias.grad()
-		for i := 0; i < out.Grad.Rows; i++ {
-			row := out.Grad.Row(i)
-			for j, g := range row {
-				gb.Data[j] += g
-			}
-		}
-	}
-	return out
+	return t.add(opAddRowBroadcast, val, a, bias)
 }
 
 // ReLU returns max(0, a) elementwise.
 func ReLU(a *Node) *Node {
-	out := a.tape.add(tensor.Apply(a.Value, func(v float64) float64 {
+	val := a.tape.take(a.Value.Rows, a.Value.Cols, false)
+	for i, v := range a.Value.Data {
 		if v > 0 {
-			return v
-		}
-		return 0
-	}), nil)
-	out.backward = func() {
-		ga := a.grad()
-		for i, g := range out.Grad.Data {
-			if a.Value.Data[i] > 0 {
-				ga.Data[i] += g
-			}
+			val.Data[i] = v
+		} else {
+			val.Data[i] = 0
 		}
 	}
-	return out
+	return a.tape.add(opReLU, val, a, nil)
 }
 
 // LeakyReLU returns a for a>0 and alpha·a otherwise.
 func LeakyReLU(a *Node, alpha float64) *Node {
-	out := a.tape.add(tensor.Apply(a.Value, func(v float64) float64 {
+	val := a.tape.take(a.Value.Rows, a.Value.Cols, false)
+	for i, v := range a.Value.Data {
 		if v > 0 {
-			return v
-		}
-		return alpha * v
-	}), nil)
-	out.backward = func() {
-		ga := a.grad()
-		for i, g := range out.Grad.Data {
-			if a.Value.Data[i] > 0 {
-				ga.Data[i] += g
-			} else {
-				ga.Data[i] += alpha * g
-			}
+			val.Data[i] = v
+		} else {
+			val.Data[i] = alpha * v
 		}
 	}
+	out := a.tape.add(opLeakyReLU, val, a, nil)
+	out.scalar = alpha
 	return out
 }
 
 // Sigmoid returns 1/(1+e^{−a}) elementwise.
 func Sigmoid(a *Node) *Node {
-	out := a.tape.add(tensor.Apply(a.Value, sigmoid), nil)
-	out.backward = func() {
-		ga := a.grad()
-		for i, g := range out.Grad.Data {
-			s := out.Value.Data[i]
-			ga.Data[i] += g * s * (1 - s)
-		}
+	val := a.tape.take(a.Value.Rows, a.Value.Cols, false)
+	for i, v := range a.Value.Data {
+		val.Data[i] = sigmoid(v)
 	}
-	return out
+	return a.tape.add(opSigmoid, val, a, nil)
 }
 
 func sigmoid(v float64) float64 {
@@ -275,65 +502,43 @@ func sigmoid(v float64) float64 {
 
 // Exp returns e^a elementwise.
 func Exp(a *Node) *Node {
-	out := a.tape.add(tensor.Apply(a.Value, math.Exp), nil)
-	out.backward = func() {
-		ga := a.grad()
-		for i, g := range out.Grad.Data {
-			ga.Data[i] += g * out.Value.Data[i]
-		}
+	val := a.tape.take(a.Value.Rows, a.Value.Cols, false)
+	for i, v := range a.Value.Data {
+		val.Data[i] = math.Exp(v)
 	}
-	return out
+	return a.tape.add(opExp, val, a, nil)
 }
+
+// logFloor keeps Log's gradient finite when probabilities touch 0.
+const logFloor = 1e-12
 
 // Log returns ln(max(a, floor)) elementwise; the floor (1e-12) keeps the
 // gradient finite when probabilities touch 0.
 func Log(a *Node) *Node {
-	const floor = 1e-12
-	clamped := tensor.Apply(a.Value, func(v float64) float64 {
-		if v < floor {
-			return floor
+	val := a.tape.take(a.Value.Rows, a.Value.Cols, false)
+	for i, v := range a.Value.Data {
+		if v < logFloor {
+			v = logFloor
 		}
-		return v
-	})
-	out := a.tape.add(tensor.Apply(clamped, math.Log), nil)
-	out.backward = func() {
-		ga := a.grad()
-		for i, g := range out.Grad.Data {
-			if a.Value.Data[i] >= floor {
-				ga.Data[i] += g / a.Value.Data[i]
-			}
-			// Below the floor the function is constant: zero gradient.
-		}
+		val.Data[i] = math.Log(v)
 	}
-	return out
+	return a.tape.add(opLog, val, a, nil)
 }
 
 // Tanh returns tanh(a) elementwise.
 func Tanh(a *Node) *Node {
-	out := a.tape.add(tensor.Apply(a.Value, math.Tanh), nil)
-	out.backward = func() {
-		ga := a.grad()
-		for i, g := range out.Grad.Data {
-			th := out.Value.Data[i]
-			ga.Data[i] += g * (1 - th*th)
-		}
+	val := a.tape.take(a.Value.Rows, a.Value.Cols, false)
+	for i, v := range a.Value.Data {
+		val.Data[i] = math.Tanh(v)
 	}
-	return out
+	return a.tape.add(opTanh, val, a, nil)
 }
 
 // Sum reduces a to a 1×1 scalar Σa.
 func Sum(a *Node) *Node {
-	val := tensor.New(1, 1)
+	val := a.tape.take(1, 1, false)
 	val.Data[0] = a.Value.Sum()
-	out := a.tape.add(val, nil)
-	out.backward = func() {
-		g := out.Grad.Data[0]
-		ga := a.grad()
-		for i := range ga.Data {
-			ga.Data[i] += g
-		}
-	}
-	return out
+	return a.tape.add(opSum, val, a, nil)
 }
 
 // Mean reduces a to a 1×1 scalar (Σa)/len(a).
@@ -348,24 +553,11 @@ func ConcatCols(a, b *Node) *Node {
 	if a.Value.Rows != b.Value.Rows {
 		panic("autodiff: ConcatCols row mismatch")
 	}
-	rows, ca, cb := a.Value.Rows, a.Value.Cols, b.Value.Cols
-	val := tensor.New(rows, ca+cb)
+	rows, ca := a.Value.Rows, a.Value.Cols
+	val := t.take(rows, ca+b.Value.Cols, false)
 	for i := 0; i < rows; i++ {
 		copy(val.Row(i)[:ca], a.Value.Row(i))
 		copy(val.Row(i)[ca:], b.Value.Row(i))
 	}
-	out := t.add(val, nil)
-	out.backward = func() {
-		ga, gb := a.grad(), b.grad()
-		for i := 0; i < rows; i++ {
-			grow := out.Grad.Row(i)
-			for j := 0; j < ca; j++ {
-				ga.Row(i)[j] += grow[j]
-			}
-			for j := 0; j < cb; j++ {
-				gb.Row(i)[j] += grow[ca+j]
-			}
-		}
-	}
-	return out
+	return t.add(opConcatCols, val, a, b)
 }

@@ -151,12 +151,10 @@ func SpMM(a *SparseMat, x *Node) *Node {
 		panic(fmt.Sprintf("autodiff: SpMM %dx%d × %dx%d", a.NumRows, a.NumCols, x.Value.Rows, x.Value.Cols))
 	}
 	cols := x.Value.Cols
-	val := tensor.New(a.NumRows, cols)
+	val := x.tape.take(a.NumRows, cols, true)
 	spmmForward(a, x.Value, val)
-	out := x.tape.add(val, nil)
-	out.backward = func() {
-		spmmBackward(a, out.Grad, x.grad())
-	}
+	out := x.tape.add(opSpMM, val, x, nil)
+	out.sparse = a
 	return out
 }
 
@@ -225,21 +223,12 @@ func spmmBackward(a *SparseMat, grad, gx *tensor.Matrix) {
 // repeat rows; the backward pass scatter-adds into x.
 func GatherRows(x *Node, idx []int32) *Node {
 	cols := x.Value.Cols
-	val := tensor.New(len(idx), cols)
+	val := x.tape.take(len(idx), cols, false)
 	for i, r := range idx {
 		copy(val.Row(i), x.Value.Row(int(r)))
 	}
-	out := x.tape.add(val, nil)
-	out.backward = func() {
-		gx := x.grad()
-		for i, r := range idx {
-			grow := out.Grad.Row(i)
-			xrow := gx.Row(int(r))
-			for j, g := range grow {
-				xrow[j] += g
-			}
-		}
-	}
+	out := x.tape.add(opGatherRows, val, x, nil)
+	out.idx = idx
 	return out
 }
 
@@ -250,7 +239,7 @@ func ScatterAddRows(x *Node, idx []int32, numOut int) *Node {
 	if len(idx) != x.Value.Rows {
 		panic("autodiff: ScatterAddRows idx length mismatch")
 	}
-	val := tensor.New(numOut, cols)
+	val := x.tape.take(numOut, cols, true)
 	for i, r := range idx {
 		drow := val.Row(int(r))
 		xrow := x.Value.Row(i)
@@ -258,17 +247,8 @@ func ScatterAddRows(x *Node, idx []int32, numOut int) *Node {
 			drow[j] += v
 		}
 	}
-	out := x.tape.add(val, nil)
-	out.backward = func() {
-		gx := x.grad()
-		for i, r := range idx {
-			grow := out.Grad.Row(int(r))
-			xrow := gx.Row(i)
-			for j, g := range grow {
-				xrow[j] += g
-			}
-		}
-	}
+	out := x.tape.add(opScatterAddRows, val, x, nil)
+	out.idx = idx
 	return out
 }
 
@@ -279,7 +259,7 @@ func MulColBroadcast(x, alpha *Node) *Node {
 	if alpha.Value.Cols != 1 || alpha.Value.Rows != x.Value.Rows {
 		panic("autodiff: MulColBroadcast alpha must be E×1 matching x rows")
 	}
-	val := tensor.New(x.Value.Rows, x.Value.Cols)
+	val := t.take(x.Value.Rows, x.Value.Cols, false)
 	for i := 0; i < val.Rows; i++ {
 		a := alpha.Value.Data[i]
 		xrow := x.Value.Row(i)
@@ -288,23 +268,7 @@ func MulColBroadcast(x, alpha *Node) *Node {
 			vrow[j] = a * v
 		}
 	}
-	out := t.add(val, nil)
-	out.backward = func() {
-		gx, ga := x.grad(), alpha.grad()
-		for i := 0; i < val.Rows; i++ {
-			a := alpha.Value.Data[i]
-			grow := out.Grad.Row(i)
-			xrow := x.Value.Row(i)
-			gxrow := gx.Row(i)
-			dot := 0.0
-			for j, g := range grow {
-				gxrow[j] += a * g
-				dot += g * xrow[j]
-			}
-			ga.Data[i] += dot
-		}
-	}
-	return out
+	return t.add(opMulColBroadcast, val, x, alpha)
 }
 
 // SegmentSoftmax computes softmax over groups of entries of the E×1 column
@@ -315,38 +279,31 @@ func SegmentSoftmax(scores *Node, seg []int32, numSegments int) *Node {
 		panic("autodiff: SegmentSoftmax wants E×1 scores with matching seg")
 	}
 	e := len(seg)
-	val := tensor.New(e, 1)
-	// Stable per-segment softmax: subtract per-segment max.
-	maxes := make([]float64, numSegments)
-	for i := range maxes {
-		maxes[i] = negInf
+	t := scores.tape
+	val := t.take(e, 1, false)
+	// Stable per-segment softmax: subtract per-segment max. Scratch comes
+	// from the tape pool so repeated passes on a reset tape don't allocate.
+	maxes := t.take(numSegments, 1, false)
+	for i := range maxes.Data {
+		maxes.Data[i] = negInf
 	}
 	for i := 0; i < e; i++ {
-		if v := scores.Value.Data[i]; v > maxes[seg[i]] {
-			maxes[seg[i]] = v
+		if v := scores.Value.Data[i]; v > maxes.Data[seg[i]] {
+			maxes.Data[seg[i]] = v
 		}
 	}
-	sums := make([]float64, numSegments)
+	sums := t.take(numSegments, 1, true)
 	for i := 0; i < e; i++ {
-		ex := exp(scores.Value.Data[i] - maxes[seg[i]])
+		ex := exp(scores.Value.Data[i] - maxes.Data[seg[i]])
 		val.Data[i] = ex
-		sums[seg[i]] += ex
+		sums.Data[seg[i]] += ex
 	}
 	for i := 0; i < e; i++ {
-		val.Data[i] /= sums[seg[i]]
+		val.Data[i] /= sums.Data[seg[i]]
 	}
-	out := scores.tape.add(val, nil)
-	out.backward = func() {
-		gs := scores.grad()
-		// For each segment: ds_i = a_i (g_i − Σ_k a_k g_k).
-		dots := make([]float64, numSegments)
-		for i := 0; i < e; i++ {
-			dots[seg[i]] += val.Data[i] * out.Grad.Data[i]
-		}
-		for i := 0; i < e; i++ {
-			gs.Data[i] += val.Data[i] * (out.Grad.Data[i] - dots[seg[i]])
-		}
-	}
+	out := t.add(opSegmentSoftmax, val, scores, nil)
+	out.idx = seg
+	out.n = numSegments
 	return out
 }
 

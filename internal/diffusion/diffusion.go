@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"privim/internal/graph"
@@ -33,41 +34,71 @@ type Model interface {
 type IC struct {
 	G        *graph.Graph
 	MaxSteps int
+
+	pool sync.Pool // *icState, see DESIGN.md §"Scratch arenas"
+}
+
+// icState is per-simulation scratch: an epoch-stamped active set plus two
+// frontier buffers that swap roles each round. Checked out of the model's
+// pool so concurrent Monte-Carlo rounds never share a buffer and repeated
+// rounds do zero heap work after warm-up.
+type icState struct {
+	epoch    []int32
+	curEpoch int32
+	frontier []graph.NodeID
+	next     []graph.NodeID
 }
 
 // Name implements Model.
 func (m *IC) Name() string { return "ic" }
 
-// Simulate implements Model.
+// Simulate implements Model. Safe for concurrent use; the draw order is
+// identical to the historical allocate-per-call implementation, so seeded
+// results are unchanged.
 func (m *IC) Simulate(seeds []graph.NodeID, rng *rand.Rand) int {
-	active := make([]bool, m.G.NumNodes())
-	frontier := make([]graph.NodeID, 0, len(seeds))
-	for _, s := range seeds {
-		if !active[s] {
-			active[s] = true
-			frontier = append(frontier, s)
+	n := m.G.NumNodes()
+	s, _ := m.pool.Get().(*icState)
+	if s == nil || len(s.epoch) != n {
+		s = &icState{epoch: make([]int32, n)}
+	}
+	defer m.pool.Put(s)
+	s.curEpoch++
+	if s.curEpoch == 0 { // wrapped: reset lazily
+		for i := range s.epoch {
+			s.epoch[i] = 0
+		}
+		s.curEpoch = 1
+	}
+	active := s.curEpoch
+	frontier := s.frontier[:0]
+	for _, v := range seeds {
+		if s.epoch[v] != active {
+			s.epoch[v] = active
+			frontier = append(frontier, v)
 		}
 	}
 	count := len(frontier)
+	next := s.next[:0]
 	for step := 0; len(frontier) > 0; step++ {
 		if m.MaxSteps > 0 && step >= m.MaxSteps {
 			break
 		}
-		var next []graph.NodeID
+		next = next[:0]
 		for _, u := range frontier {
 			for _, a := range m.G.Out(u) {
-				if active[a.To] {
+				if s.epoch[a.To] == active {
 					continue
 				}
 				if rng.Float64() < a.Weight {
-					active[a.To] = true
+					s.epoch[a.To] = active
 					next = append(next, a.To)
 					count++
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	s.frontier, s.next = frontier, next
 	return count
 }
 
@@ -76,48 +107,80 @@ func (m *IC) Simulate(seeds []graph.NodeID, rng *rand.Rand) int {
 type LT struct {
 	G        *graph.Graph
 	MaxSteps int
+
+	pool sync.Pool // *ltState, see DESIGN.md §"Scratch arenas"
+}
+
+// ltState is per-simulation scratch for LT. The thresholds are fully
+// redrawn every simulation (same draw order as before pooling), so only
+// the buffers are reused, never the randomness.
+type ltState struct {
+	active    []int32
+	curEpoch  int32
+	threshold []float64
+	influence []float64 // accumulated active in-weight
+	frontier  []graph.NodeID
+	next      []graph.NodeID
 }
 
 // Name implements Model.
 func (m *LT) Name() string { return "lt" }
 
-// Simulate implements Model.
+// Simulate implements Model. Safe for concurrent use; seeded results are
+// identical to the historical allocate-per-call implementation.
 func (m *LT) Simulate(seeds []graph.NodeID, rng *rand.Rand) int {
 	n := m.G.NumNodes()
-	active := make([]bool, n)
-	threshold := make([]float64, n)
-	for v := range threshold {
-		threshold[v] = rng.Float64()
+	s, _ := m.pool.Get().(*ltState)
+	if s == nil || len(s.active) != n {
+		s = &ltState{
+			active:    make([]int32, n),
+			threshold: make([]float64, n),
+			influence: make([]float64, n),
+		}
 	}
-	influence := make([]float64, n) // accumulated active in-weight
-	frontier := make([]graph.NodeID, 0, len(seeds))
-	for _, s := range seeds {
-		if !active[s] {
-			active[s] = true
-			frontier = append(frontier, s)
+	defer m.pool.Put(s)
+	s.curEpoch++
+	if s.curEpoch == 0 { // wrapped: reset lazily
+		for i := range s.active {
+			s.active[i] = 0
+		}
+		s.curEpoch = 1
+	}
+	act := s.curEpoch
+	for v := range s.threshold {
+		s.threshold[v] = rng.Float64()
+		s.influence[v] = 0
+	}
+	frontier := s.frontier[:0]
+	for _, sd := range seeds {
+		if s.active[sd] != act {
+			s.active[sd] = act
+			frontier = append(frontier, sd)
 		}
 	}
 	count := len(frontier)
+	next := s.next[:0]
 	for step := 0; len(frontier) > 0; step++ {
 		if m.MaxSteps > 0 && step >= m.MaxSteps {
 			break
 		}
-		var next []graph.NodeID
+		next = next[:0]
 		for _, u := range frontier {
 			for _, a := range m.G.Out(u) {
-				if active[a.To] {
+				if s.active[a.To] == act {
 					continue
 				}
-				influence[a.To] += a.Weight
-				if influence[a.To] >= threshold[a.To] {
-					active[a.To] = true
+				s.influence[a.To] += a.Weight
+				if s.influence[a.To] >= s.threshold[a.To] {
+					s.active[a.To] = act
 					next = append(next, a.To)
 					count++
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	s.frontier, s.next = frontier, next
 	return count
 }
 
@@ -130,58 +193,97 @@ type SIS struct {
 	G        *graph.Graph
 	Recovery float64
 	Steps    int
+
+	pool sync.Pool // *sisState, see DESIGN.md §"Scratch arenas"
+}
+
+// sisState is per-simulation scratch for SIS: epoch-stamped infected /
+// ever-infected sets, a step-local newly-infected bitset paired with an
+// insertion-order list, and the two round buffers.
+type sisState struct {
+	infected  []int32 // == curEpoch ⇔ currently infected
+	ever      []int32 // == curEpoch ⇔ infected at least once this run
+	newly     []int32 // == curEpoch ⇔ infected this step (cleared on drain)
+	curEpoch  int32
+	cur       []graph.NodeID
+	next      []graph.NodeID
+	newlyList []graph.NodeID
 }
 
 // Name implements Model.
 func (m *SIS) Name() string { return "sis" }
 
-// Simulate implements Model.
+// Simulate implements Model. Safe for concurrent use. Newly infected
+// nodes join the next round in infection order (the historical
+// implementation drained a map, so its round order — and therefore the
+// exact seeded trajectory — varied between runs; SIS is now deterministic
+// given a seed, like IC and LT).
 func (m *SIS) Simulate(seeds []graph.NodeID, rng *rand.Rand) int {
 	if m.Steps < 1 {
 		panic("diffusion: SIS requires Steps >= 1")
 	}
 	n := m.G.NumNodes()
-	infected := make([]bool, n)
-	ever := make([]bool, n)
+	s, _ := m.pool.Get().(*sisState)
+	if s == nil || len(s.infected) != n {
+		s = &sisState{
+			infected: make([]int32, n),
+			ever:     make([]int32, n),
+			newly:    make([]int32, n),
+		}
+	}
+	defer m.pool.Put(s)
+	s.curEpoch++
+	if s.curEpoch == 0 { // wrapped: reset lazily
+		for i := range s.infected {
+			s.infected[i], s.ever[i], s.newly[i] = 0, 0, 0
+		}
+		s.curEpoch = 1
+	}
+	ep := s.curEpoch
 	count := 0
-	for _, s := range seeds {
-		if !ever[s] {
-			infected[s], ever[s] = true, true
+	for _, sd := range seeds {
+		if s.ever[sd] != ep {
+			s.infected[sd], s.ever[sd] = ep, ep
 			count++
 		}
 	}
-	cur := append([]graph.NodeID(nil), seeds...)
+	cur := append(s.cur[:0], seeds...)
+	next := s.next[:0]
+	newlyList := s.newlyList[:0]
 	for step := 0; step < m.Steps && len(cur) > 0; step++ {
-		var next []graph.NodeID
-		newlyInfected := make(map[graph.NodeID]bool)
+		next = next[:0]
+		newlyList = newlyList[:0]
 		for _, u := range cur {
 			for _, a := range m.G.Out(u) {
-				if infected[a.To] || newlyInfected[a.To] {
+				if s.infected[a.To] == ep || s.newly[a.To] == ep {
 					continue
 				}
 				if rng.Float64() < a.Weight {
-					newlyInfected[a.To] = true
+					s.newly[a.To] = ep
+					newlyList = append(newlyList, a.To)
 				}
 			}
 		}
 		// Recoveries happen after transmission within a round.
 		for _, u := range cur {
 			if rng.Float64() < m.Recovery {
-				infected[u] = false
+				s.infected[u] = 0
 			} else {
 				next = append(next, u)
 			}
 		}
-		for v := range newlyInfected {
-			infected[v] = true
-			if !ever[v] {
-				ever[v] = true
+		for _, v := range newlyList {
+			s.newly[v] = 0 // step-local: a later recovery makes v infectable again
+			s.infected[v] = ep
+			if s.ever[v] != ep {
+				s.ever[v] = ep
 				count++
 			}
 			next = append(next, v)
 		}
-		cur = next
+		cur, next = next, cur
 	}
+	s.cur, s.next, s.newlyList = cur, next, newlyList
 	return count
 }
 
@@ -224,6 +326,64 @@ func EstimateContext(ctx context.Context, model Model, seeds []graph.NodeID, rou
 	return estimate(model, seeds, rounds, seed, 0, o)
 }
 
+// estState is the reusable machinery behind estimate: per-worker totals,
+// per-worker RNGs that are reseeded each round (rand.Rand.Seed(n) yields
+// the same stream as a fresh rand.New(rand.NewSource(n)), so seeded means
+// are unchanged), observer histograms, and the worker closure built once
+// so steady-state Estimate calls allocate nothing.
+type estState struct {
+	model  Model
+	seeds  []graph.NodeID
+	seed   int64
+	obsOn  bool
+	totals []int64
+	rngs   []*rand.Rand
+	sizes  [][obs.NumBuckets]uint64
+	body   func(w, lo, hi int)
+}
+
+var estPool = sync.Pool{New: func() any {
+	st := &estState{}
+	st.body = func(w, lo, hi int) {
+		rng := st.rngs[w]
+		var local int64
+		for r := lo; r < hi; r++ {
+			rng.Seed(st.seed + int64(r)*1_000_003)
+			n := st.model.Simulate(st.seeds, rng)
+			local += int64(n)
+			if st.obsOn {
+				st.sizes[w][obs.BucketIndex(float64(n))]++
+			}
+		}
+		st.totals[w] += local
+	}
+	return st
+}}
+
+func (st *estState) reset(workers int, obsOn bool) {
+	if cap(st.totals) < workers {
+		st.totals = make([]int64, workers)
+	}
+	st.totals = st.totals[:workers]
+	for i := range st.totals {
+		st.totals[i] = 0
+	}
+	for len(st.rngs) < workers {
+		st.rngs = append(st.rngs, rand.New(rand.NewSource(1)))
+	}
+	st.obsOn = obsOn
+	if !obsOn {
+		return
+	}
+	if cap(st.sizes) < workers {
+		st.sizes = make([][obs.NumBuckets]uint64, workers)
+	}
+	st.sizes = st.sizes[:workers]
+	for i := range st.sizes {
+		st.sizes[i] = [obs.NumBuckets]uint64{}
+	}
+}
+
 func estimate(model Model, seeds []graph.NodeID, rounds int, seed int64, workers int, o obs.Observer) float64 {
 	if rounds < 1 {
 		panic(fmt.Sprintf("diffusion: Estimate rounds = %d", rounds))
@@ -233,25 +393,12 @@ func estimate(model Model, seeds []graph.NodeID, rounds int, seed int64, workers
 	if workers > rounds {
 		workers = rounds
 	}
-	totals := make([]int64, workers)
-	var sizes [][obs.NumBuckets]uint64
-	if o != nil {
-		sizes = make([][obs.NumBuckets]uint64, workers)
-	}
-	parallel.For(workers, rounds, 8, func(w, lo, hi int) {
-		var local int64
-		for r := lo; r < hi; r++ {
-			rng := rand.New(rand.NewSource(seed + int64(r)*1_000_003))
-			n := model.Simulate(seeds, rng)
-			local += int64(n)
-			if o != nil {
-				sizes[w][obs.BucketIndex(float64(n))]++
-			}
-		}
-		totals[w] += local
-	})
+	st := estPool.Get().(*estState)
+	st.model, st.seeds, st.seed = model, seeds, seed
+	st.reset(workers, o != nil)
+	parallel.For(workers, rounds, 8, st.body)
 	var sum int64
-	for _, v := range totals {
+	for _, v := range st.totals {
 		sum += v
 	}
 	mean := float64(sum) / float64(rounds)
@@ -265,13 +412,15 @@ func estimate(model Model, seeds []graph.NodeID, rounds int, seed int64, workers
 		if secs := ev.Elapsed.Seconds(); secs > 0 {
 			ev.SimsPerSec = float64(rounds) / secs
 		}
-		for _, s := range sizes {
+		for _, s := range st.sizes {
 			for i, c := range s {
 				ev.SizeBuckets[i] += c
 			}
 		}
 		o.Emit(ev)
 	}
+	st.model, st.seeds = nil, nil // don't pin caller data in the pool
+	estPool.Put(st)
 	return mean
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package diffusion
+
+const raceEnabled = false

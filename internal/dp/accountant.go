@@ -53,6 +53,14 @@ func (a Accountant) Validate() error {
 // relative to the σ·C·Ng noise, giving the i²/Ng² exponent. Computation is
 // in log space to survive large B and small σ.
 func (a Accountant) RDP(alpha float64) float64 {
+	return a.rdp(alpha, nil)
+}
+
+// rdp is RDP with a caller-owned scratch buffer for the mixture terms
+// (cap ≥ min(B,Ng)+1 makes the call allocation-free; nil allocates). The
+// terms are assembled in the same index order regardless of scratch, so
+// the LogSumExp result is bit-identical either way.
+func (a Accountant) rdp(alpha float64, terms []float64) float64 {
 	if alpha <= 1 {
 		panic(fmt.Sprintf("dp: RDP order alpha = %v must exceed 1", alpha))
 	}
@@ -68,7 +76,7 @@ func (a Accountant) RDP(alpha float64) float64 {
 		upper = a.B
 	}
 	ng2 := float64(a.Ng) * float64(a.Ng)
-	terms := make([]float64, 0, upper+1)
+	terms = terms[:0]
 	for i := 0; i <= upper; i++ {
 		logRho := logBinomPMF(a.B, i, q)
 		fi := float64(i)
@@ -125,6 +133,11 @@ func ConvertRDP(alpha, gamma, delta float64) float64 {
 	return gamma + math.Log((alpha-1)/alpha) - (math.Log(delta)+math.Log(alpha))/(alpha-1)
 }
 
+// alphaGrid is the package's shared, read-only order grid; public entry
+// points hand out copies (AlphaGrid) but internal conversions index it
+// directly so the hot calibration loop never rebuilds it.
+var alphaGrid = defaultAlphaGrid()
+
 // defaultAlphaGrid covers the orders over which Epsilon optimizes; the
 // range mirrors standard DP-SGD accountants.
 func defaultAlphaGrid() []float64 {
@@ -162,12 +175,26 @@ func CalibrateSigma(targetEps, delta float64, T, B, M, Ng int) (float64, error) 
 		return 0, fmt.Errorf("dp: target epsilon %v <= 0", targetEps)
 	}
 	lo, hi := 1e-3, 1.0
+	// One curve and one mixture-term buffer serve every σ probe: the search
+	// evaluates Epsilon dozens of times and B, Ng, T never change.
+	upper := Ng
+	if B < upper {
+		upper = B
+	}
+	terms := make([]float64, 0, upper+1)
+	curve := make([]float64, len(alphaGrid))
 	epsAt := func(sigma float64) float64 {
 		acc := Accountant{M: M, B: B, Ng: Ng, Sigma: sigma}
 		if err := acc.Validate(); err != nil {
 			panic(err)
 		}
-		return acc.Epsilon(T, delta)
+		if T < 1 {
+			panic(fmt.Sprintf("dp: Epsilon T = %d < 1", T))
+		}
+		for i, alpha := range alphaGrid {
+			curve[i] = acc.rdp(alpha, terms) * float64(T)
+		}
+		return EpsilonFromCurve(curve, delta)
 	}
 	// Grow hi until the target is met.
 	const maxSigma = 1e7

@@ -21,7 +21,7 @@ import (
 // length is a compatibility contract: code serializing curves should
 // store len(AlphaGrid()) alongside and reject mismatches.
 func AlphaGrid() []float64 {
-	return defaultAlphaGrid()
+	return append([]float64(nil), alphaGrid...)
 }
 
 // RDPCurve returns the accumulated Rényi cost γ(α)·T of T iterations at
@@ -32,10 +32,14 @@ func (a Accountant) RDPCurve(T int) []float64 {
 	if T < 1 {
 		panic(fmt.Sprintf("dp: RDPCurve T = %d < 1", T))
 	}
-	grid := defaultAlphaGrid()
-	curve := make([]float64, len(grid))
-	for i, alpha := range grid {
-		curve[i] = a.RDP(alpha) * float64(T)
+	upper := a.Ng
+	if a.B < upper {
+		upper = a.B
+	}
+	terms := make([]float64, 0, upper+1)
+	curve := make([]float64, len(alphaGrid))
+	for i, alpha := range alphaGrid {
+		curve[i] = a.rdp(alpha, terms) * float64(T)
 	}
 	return curve
 }
@@ -46,7 +50,7 @@ func (a Accountant) RDPCurve(T int) []float64 {
 // match the grid — a mismatch means the curve was built against a
 // different grid and converting it would be silently wrong.
 func EpsilonFromCurve(curve []float64, delta float64) float64 {
-	grid := defaultAlphaGrid()
+	grid := alphaGrid
 	if len(curve) != len(grid) {
 		panic(fmt.Sprintf("dp: curve has %d orders, grid has %d", len(curve), len(grid)))
 	}

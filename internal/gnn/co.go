@@ -25,14 +25,13 @@ import (
 // penalty instead crushes every score into sigmoid saturation before the
 // coverage term can act.
 func MaxCoverLoss(tp *autodiff.Tape, g *graph.Graph, scores *autodiff.Node, k int, beta float64) *autodiff.Node {
-	if scores.Value.Cols != 1 || scores.Value.Rows != g.NumNodes() {
-		panic(fmt.Sprintf("gnn: MaxCoverLoss scores %dx%d for %d-node graph",
-			scores.Value.Rows, scores.Value.Cols, g.NumNodes()))
-	}
-	if k < 1 || beta < 0 {
-		panic(fmt.Sprintf("gnn: MaxCoverLoss(k=%d, beta=%v) invalid", k, beta))
-	}
-	// Binary coverage matrix: row u selects u and its in-neighbors.
+	return MaxCoverLossCover(tp, g, scores, k, beta, CoverMatrix(g))
+}
+
+// CoverMatrix builds the binary coverage operator MaxCoverLoss aggregates
+// with: row u selects u and its (deduplicated) in-neighbors. Precompute it
+// once per subgraph when the loss is evaluated repeatedly.
+func CoverMatrix(g *graph.Graph) *autodiff.SparseMat {
 	n := g.NumNodes()
 	var dst, src []int32
 	var w []float64
@@ -50,7 +49,23 @@ func MaxCoverLoss(tp *autodiff.Tape, g *graph.Graph, scores *autodiff.Node, k in
 			}
 		}
 	}
-	cover := autodiff.NewSparse(n, n, dst, src, w)
+	return autodiff.NewSparse(n, n, dst, src, w)
+}
+
+// MaxCoverLossCover is MaxCoverLoss with the coverage operator supplied by
+// the caller (from CoverMatrix on the same graph).
+func MaxCoverLossCover(tp *autodiff.Tape, g *graph.Graph, scores *autodiff.Node, k int, beta float64, cover *autodiff.SparseMat) *autodiff.Node {
+	if scores.Value.Cols != 1 || scores.Value.Rows != g.NumNodes() {
+		panic(fmt.Sprintf("gnn: MaxCoverLoss scores %dx%d for %d-node graph",
+			scores.Value.Rows, scores.Value.Cols, g.NumNodes()))
+	}
+	if k < 1 || beta < 0 {
+		panic(fmt.Sprintf("gnn: MaxCoverLoss(k=%d, beta=%v) invalid", k, beta))
+	}
+	if cover.NumRows != g.NumNodes() || cover.NumCols != g.NumNodes() {
+		panic(fmt.Sprintf("gnn: MaxCoverLossCover operator %dx%d for %d-node graph",
+			cover.NumRows, cover.NumCols, g.NumNodes()))
+	}
 
 	logSurvive := autodiff.Log(autodiff.OneMinus(scores)) // log(1 − x_v)
 	sumLogs := autodiff.SpMM(cover, logSurvive)           // Σ over cover(u)

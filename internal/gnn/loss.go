@@ -35,6 +35,14 @@ type LossConfig struct {
 //
 // The returned node is a 1×1 scalar suitable for Tape.Backward.
 func IMLoss(tp *autodiff.Tape, g *graph.Graph, scores *autodiff.Node, cfg LossConfig) *autodiff.Node {
+	return IMLossAdj(tp, g, scores, cfg, autodiff.InAdjacency(g))
+}
+
+// IMLossAdj is IMLoss with the in-adjacency aggregation operator supplied
+// by the caller (from autodiff.InAdjacency on the same graph). Training
+// loops evaluate the loss on the same subgraph every iteration; caching
+// the operator there removes the dominant per-sample allocation.
+func IMLossAdj(tp *autodiff.Tape, g *graph.Graph, scores *autodiff.Node, cfg LossConfig, adj *autodiff.SparseMat) *autodiff.Node {
 	if cfg.Steps < 1 {
 		panic(fmt.Sprintf("gnn: IMLoss steps %d < 1", cfg.Steps))
 	}
@@ -42,7 +50,10 @@ func IMLoss(tp *autodiff.Tape, g *graph.Graph, scores *autodiff.Node, cfg LossCo
 		panic(fmt.Sprintf("gnn: IMLoss scores %dx%d for %d-node graph",
 			scores.Value.Rows, scores.Value.Cols, g.NumNodes()))
 	}
-	adj := autodiff.InAdjacency(g)
+	if adj.NumRows != g.NumNodes() || adj.NumCols != g.NumNodes() {
+		panic(fmt.Sprintf("gnn: IMLossAdj adjacency %dx%d for %d-node graph",
+			adj.NumRows, adj.NumCols, g.NumNodes()))
+	}
 	// a_0 = x (probability of being active at step 0 = being a seed).
 	act := scores
 	var survival *autodiff.Node

@@ -72,7 +72,17 @@ type Model struct {
 	Cfg    Config
 	Params *nn.ParamSet
 
-	index map[string]int // param name -> position in Params layout
+	// Parameter positions resolved at construction so Forward indexes
+	// bound[] directly instead of formatting names per call.
+	layers             []layerRefs
+	readoutW, readoutB int
+}
+
+// layerRefs holds one layer's parameter positions in the ParamSet layout.
+// Unused slots for a given Kind stay zero and are never read.
+type layerRefs struct {
+	w, w2, eps, b int
+	attn          []int
 }
 
 // New constructs a model and registers its parameters (uninitialized; call
@@ -81,31 +91,35 @@ func New(cfg Config) (*Model, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	m := &Model{Cfg: cfg, Params: nn.NewParamSet(), index: make(map[string]int)}
-	add := func(name string, rows, cols int) {
-		m.index[name] = len(m.Params.All())
+	m := &Model{Cfg: cfg, Params: nn.NewParamSet()}
+	add := func(name string, rows, cols int) int {
+		i := len(m.Params.All())
 		m.Params.Add(name, rows, cols)
+		return i
 	}
 	in := cfg.InputDim
+	m.layers = make([]layerRefs, cfg.Layers)
 	for l := 0; l < cfg.Layers; l++ {
 		out := cfg.HiddenDim
+		refs := &m.layers[l]
 		switch cfg.Kind {
 		case GCN:
-			add(lname(l, "w"), in, out)
+			refs.w = add(lname(l, "w"), in, out)
 		case GraphSAGE:
 			// Concatenated [self | mean-neighbors] projection.
-			add(lname(l, "w"), 2*in, out)
+			refs.w = add(lname(l, "w"), 2*in, out)
 		case GAT, GRAT:
-			add(lname(l, "w"), in, out)
+			refs.w = add(lname(l, "w"), in, out)
+			refs.attn = make([]int, cfg.Heads)
 			for h := 0; h < cfg.Heads; h++ {
-				add(hname(l, h), 2*out, 1)
+				refs.attn[h] = add(hname(l, h), 2*out, 1)
 			}
 		case GIN:
-			add(lname(l, "w1"), in, out)
-			add(lname(l, "w2"), out, out)
-			add(lname(l, "eps"), 1, 1)
+			refs.w = add(lname(l, "w1"), in, out)
+			refs.w2 = add(lname(l, "w2"), out, out)
+			refs.eps = add(lname(l, "eps"), 1, 1)
 		}
-		add(lname(l, "b"), 1, out)
+		refs.b = add(lname(l, "b"), 1, out)
 		in = out
 	}
 	// Readout: [final hidden | raw features] -> scalar seed-probability
@@ -113,8 +127,8 @@ func New(cfg Config) (*Model, error) {
 	// information available at inference even when normalized aggregation
 	// (e.g. GCN's symmetric normalization) attenuates it through the
 	// layers.
-	add("readout.w", in+cfg.InputDim, 1)
-	add("readout.b", 1, 1)
+	m.readoutW = add("readout.w", in+cfg.InputDim, 1)
+	m.readoutB = add("readout.b", 1, 1)
 	return m, nil
 }
 
@@ -124,15 +138,6 @@ func hname(l, head int) string { return fmt.Sprintf("layer%d.attn%d", l, head) }
 
 // Init initializes all parameters (Glorot) deterministically from rng.
 func (m *Model) Init(rng *rand.Rand) { m.Params.GlorotInit(rng) }
-
-// node returns the bound tape node for a named parameter.
-func (m *Model) node(bound []*autodiff.Node, name string) *autodiff.Node {
-	i, ok := m.index[name]
-	if !ok {
-		panic("gnn: unknown parameter " + name)
-	}
-	return bound[i]
-}
 
 // edgeList materializes g's arcs v→u as (dst=u, src=v) slices with self
 // loops appended, the form attention layers consume.
@@ -187,35 +192,79 @@ func sumInAdjacency(g *graph.Graph) *autodiff.SparseMat {
 	return autodiff.NewSparse(n, n, dst, src, w)
 }
 
+// Prep caches the graph-derived, parameter-independent inputs one Forward
+// pass needs: the aggregation operator (GCN/SAGE/GIN), the self-looped
+// edge list (GAT/GRAT), and the GIN ε-broadcast ones column. Building
+// these per call dominated Forward's allocations; a Prep is built once
+// per (model kind, graph) pair and reused across iterations. Preps are
+// read-only after construction and safe to share across workers.
+type Prep struct {
+	kind Kind
+	n    int
+
+	adj      *autodiff.SparseMat // GCN/SAGE/GIN aggregation operator
+	dst, src []int32             // GAT/GRAT edge list with self loops
+	ones     *tensor.Matrix      // GIN: n×1 of ones for ε broadcast
+}
+
+// NewPrep precomputes the Forward inputs for subgraph g under m's
+// architecture.
+func (m *Model) NewPrep(g *graph.Graph) *Prep {
+	p := &Prep{kind: m.Cfg.Kind, n: g.NumNodes()}
+	switch m.Cfg.Kind {
+	case GCN:
+		p.adj = autodiff.GCNNormalized(g)
+	case GraphSAGE:
+		p.adj = meanInAdjacency(g)
+	case GAT, GRAT:
+		p.dst, p.src = edgeList(g)
+	case GIN:
+		p.adj = sumInAdjacency(g)
+		p.ones = tensor.New(p.n, 1)
+		p.ones.Fill(1)
+	}
+	return p
+}
+
 // Forward runs the model on subgraph g with node features x (n×InputDim)
 // and returns the n×1 vector of seed-selection probabilities in (0,1).
-// bound must come from nn.Bind(tp, m.Params).
+// bound must come from nn.Bind(tp, m.Params). The graph-derived operators
+// are rebuilt per call; training loops should precompute a Prep once per
+// subgraph and use ForwardPrep.
 func (m *Model) Forward(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.Graph, x *tensor.Matrix) *autodiff.Node {
+	return m.ForwardPrep(tp, bound, g, x, m.NewPrep(g))
+}
+
+// ForwardPrep is Forward with the graph-derived structures supplied by a
+// cached Prep (from NewPrep on the same model kind and graph).
+func (m *Model) ForwardPrep(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.Graph, x *tensor.Matrix, p *Prep) *autodiff.Node {
 	if x.Rows != g.NumNodes() || x.Cols != m.Cfg.InputDim {
 		panic(fmt.Sprintf("gnn: Forward features %dx%d for graph with %d nodes, input dim %d",
 			x.Rows, x.Cols, g.NumNodes(), m.Cfg.InputDim))
 	}
+	if p.kind != m.Cfg.Kind || p.n != g.NumNodes() {
+		panic(fmt.Sprintf("gnn: ForwardPrep prep built for kind %q / %d nodes, model is %q / %d",
+			p.kind, p.n, m.Cfg.Kind, g.NumNodes()))
+	}
 	h := tp.Leaf(x)
 	switch m.Cfg.Kind {
 	case GCN:
-		adj := autodiff.GCNNormalized(g)
 		for l := 0; l < m.Cfg.Layers; l++ {
-			agg := autodiff.SpMM(adj, h)
-			z := autodiff.MatMul(agg, m.node(bound, lname(l, "w")))
-			z = autodiff.AddRowBroadcast(z, m.node(bound, lname(l, "b")))
+			agg := autodiff.SpMM(p.adj, h)
+			z := autodiff.MatMul(agg, bound[m.layers[l].w])
+			z = autodiff.AddRowBroadcast(z, bound[m.layers[l].b])
 			h = autodiff.ReLU(z)
 		}
 	case GraphSAGE:
-		adj := meanInAdjacency(g)
 		for l := 0; l < m.Cfg.Layers; l++ {
-			neigh := autodiff.SpMM(adj, h)
+			neigh := autodiff.SpMM(p.adj, h)
 			cat := autodiff.ConcatCols(h, neigh)
-			z := autodiff.MatMul(cat, m.node(bound, lname(l, "w")))
-			z = autodiff.AddRowBroadcast(z, m.node(bound, lname(l, "b")))
+			z := autodiff.MatMul(cat, bound[m.layers[l].w])
+			z = autodiff.AddRowBroadcast(z, bound[m.layers[l].b])
 			h = autodiff.ReLU(z)
 		}
 	case GAT, GRAT:
-		dst, src := edgeList(g)
+		dst, src := p.dst, p.src
 		// GAT normalizes attention over each destination's in-edges
 		// (Eq. 35); GRAT normalizes over each source's out-edges (Eq. 39),
 		// reducing the reward for overlapping coverage.
@@ -225,7 +274,7 @@ func (m *Model) Forward(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.Grap
 		}
 		n := g.NumNodes()
 		for l := 0; l < m.Cfg.Layers; l++ {
-			wh := autodiff.MatMul(h, m.node(bound, lname(l, "w")))
+			wh := autodiff.MatMul(h, bound[m.layers[l].w])
 			hd := autodiff.GatherRows(wh, dst)
 			hs := autodiff.GatherRows(wh, src)
 			cat := autodiff.ConcatCols(hd, hs)
@@ -233,7 +282,7 @@ func (m *Model) Forward(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.Grap
 			// shared projection; head outputs are averaged.
 			var agg *autodiff.Node
 			for head := 0; head < m.Cfg.Heads; head++ {
-				e := autodiff.MatMul(cat, m.node(bound, hname(l, head)))
+				e := autodiff.MatMul(cat, bound[m.layers[l].attn[head]])
 				e = autodiff.LeakyReLU(e, m.Cfg.LeakySlope)
 				alpha := autodiff.SegmentSoftmax(e, seg, n)
 				msg := autodiff.MulColBroadcast(hs, alpha)
@@ -247,44 +296,29 @@ func (m *Model) Forward(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.Grap
 			if m.Cfg.Heads > 1 {
 				agg = autodiff.Scale(agg, 1/float64(m.Cfg.Heads))
 			}
-			agg = autodiff.AddRowBroadcast(agg, m.node(bound, lname(l, "b")))
+			agg = autodiff.AddRowBroadcast(agg, bound[m.layers[l].b])
 			h = autodiff.ReLU(agg)
 		}
 	case GIN:
-		adj := sumInAdjacency(g)
 		for l := 0; l < m.Cfg.Layers; l++ {
-			neigh := autodiff.SpMM(adj, h)
+			neigh := autodiff.SpMM(p.adj, h)
 			// (1+ε)·h + Σ_neighbors h, with learnable scalar ε broadcast.
-			epsNode := m.node(bound, lname(l, "eps"))
-			scaled := scaleByScalarNode(h, epsNode)
+			epsNode := bound[m.layers[l].eps]
+			col := autodiff.MatMul(tp.Leaf(p.ones), epsNode) // n×1 of ε
+			scaled := autodiff.MulColBroadcast(h, col)
 			z := autodiff.Add(autodiff.Add(h, scaled), neigh)
-			z = autodiff.MatMul(z, m.node(bound, lname(l, "w1")))
+			z = autodiff.MatMul(z, bound[m.layers[l].w])
 			z = autodiff.ReLU(z)
-			z = autodiff.MatMul(z, m.node(bound, lname(l, "w2")))
-			z = autodiff.AddRowBroadcast(z, m.node(bound, lname(l, "b")))
+			z = autodiff.MatMul(z, bound[m.layers[l].w2])
+			z = autodiff.AddRowBroadcast(z, bound[m.layers[l].b])
 			h = autodiff.ReLU(z)
 		}
 	}
 	skip := autodiff.ConcatCols(h, tp.Leaf(x))
-	logits := autodiff.MatMul(skip, m.node(bound, "readout.w"))
-	logits = autodiff.AddRowBroadcast(logits, m.node(bound, "readout.b"))
+	logits := autodiff.MatMul(skip, bound[m.readoutW])
+	logits = autodiff.AddRowBroadcast(logits, bound[m.readoutB])
 	return autodiff.Sigmoid(logits)
 }
-
-// scaleByScalarNode multiplies every element of x by the 1×1 node s,
-// differentiable in both (used for GIN's learnable ε).
-func scaleByScalarNode(x, s *autodiff.Node) *autodiff.Node {
-	// Broadcast s to x's shape via ones·s·onesᵀ trick: out = x ∘ (1·s·1ᵀ).
-	// Cheaper: Mul with a MatMul of ones. ones (rows×1) × s (1×1) = rows×1;
-	// then MulColBroadcast against x.
-	ones := tensor.New(x.Value.Rows, 1)
-	ones.Fill(1)
-	col := autodiff.MatMul(leafOn(x, ones), s) // rows×1 of ε
-	return autodiff.MulColBroadcast(x, col)
-}
-
-// leafOn adds a constant leaf to the same tape as n.
-func leafOn(n *autodiff.Node, m *tensor.Matrix) *autodiff.Node { return n.Tape().Leaf(m) }
 
 // Score runs a forward pass outside any training loop and returns the
 // plain seed probabilities for graph g.

@@ -68,10 +68,22 @@ func (g *Graph) NumEdges() int { return g.numEdges }
 
 // EnsureNodes grows the graph so that it contains at least n nodes.
 func (g *Graph) EnsureNodes(n int) {
-	for len(g.out) < n {
-		g.out = append(g.out, nil)
-		g.in = append(g.in, nil)
+	if len(g.out) >= n {
+		return
 	}
+	if cap(g.out) >= n && cap(g.in) >= n {
+		// Entries past the old length have never been written (append only
+		// ever grows these slices), so reslicing exposes nil lists.
+		g.out = g.out[:n]
+		g.in = g.in[:n]
+		return
+	}
+	out := make([][]Arc, n)
+	copy(out, g.out)
+	g.out = out
+	in := make([][]Arc, n)
+	copy(in, g.in)
+	g.in = in
 }
 
 // AddNode appends a new isolated node and returns its ID.

@@ -26,6 +26,32 @@ func Induce(g *Graph, nodes []NodeID) *Subgraph {
 		orig = append(orig, v)
 	}
 	sub := NewWithNodes(len(orig), true)
+	// Count the induced degrees first, then carve every adjacency list out
+	// of one flat arc buffer with exact capacity: AddEdge's appends then
+	// fill in place instead of growth-reallocating each list (extraction
+	// builds thousands of these subgraphs per training run).
+	counts := make([]int32, 2*len(orig)) // [out degrees | in degrees]
+	outCnt, inCnt := counts[:len(orig)], counts[len(orig):]
+	total := 0
+	for _, pu := range orig {
+		for _, a := range g.Out(pu) {
+			if lv, ok := local[a.To]; ok {
+				outCnt[local[pu]]++
+				inCnt[lv]++
+				total++
+			}
+		}
+	}
+	buf := make([]Arc, 0, 2*total)
+	off := 0
+	for lu := range orig {
+		sub.out[lu] = buf[off : off : off+int(outCnt[lu])]
+		off += int(outCnt[lu])
+	}
+	for lv := range orig {
+		sub.in[lv] = buf[off : off : off+int(inCnt[lv])]
+		off += int(inCnt[lv])
+	}
 	for lu, pu := range orig {
 		for _, a := range g.Out(pu) {
 			if lv, ok := local[a.To]; ok {

@@ -1,0 +1,58 @@
+package im
+
+import (
+	"testing"
+
+	"privim/internal/graph"
+	"privim/internal/parallel"
+)
+
+// TestRRSetGenerationSteadyStateZeroAlloc pins serial RR-set generation at
+// zero allocations once the flat arena, per-worker scratch, and location
+// table have grown to steady state: each batch resets the arena and
+// regenerates in place, with per-set RNG streams repositioned on a
+// reusable StreamRNG instead of one rand.New per set.
+func TestRRSetGenerationSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc floors do not hold under -race (sync.Pool drops Puts)")
+	}
+	g := parallelTestGraph(t)
+	n := g.NumNodes()
+	arena := &rrArena{}
+	scratch := parallel.NewScratch(func() *rrScratch { return newRRScratch(n) })
+	var locs []rrLoc
+	run := func() {
+		arena.reset()
+		locs, _ = generateRRSets(g, arena, 400, 0, 0, 11, 1, scratch, locs, nil, "im.test.rrsets")
+	}
+	run() // warm: grows arena, scratch, and locs to capacity
+	run()
+	if got := testing.AllocsPerRun(10, run); got != 0 {
+		t.Fatalf("generateRRSets allocates %v objects/op after warm-up, want 0", got)
+	}
+}
+
+// TestRISSelectSteadyStateAllocs pins repeated Select calls on one RIS
+// solver: everything except the returned seed slice (caller-owned by
+// contract) is recycled through the solver's risState.
+func TestRISSelectSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc floors do not hold under -race (sync.Pool drops Puts)")
+	}
+	g := parallelTestGraph(t)
+	r := &RIS{G: g, Samples: 400, Seed: 11, Workers: 1}
+	var seeds []graph.NodeID
+	run := func() { seeds = r.Select(3) }
+	run()
+	run()
+	got := testing.AllocsPerRun(10, run)
+	t.Logf("RIS.Select steady-state allocs: %v", got)
+	// The returned seeds slice plus span bookkeeping; anything above a
+	// handful means arena or coverage-index reuse broke.
+	if got > 8 {
+		t.Fatalf("RIS.Select allocates %v objects/op after warm-up, want <= 8", got)
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("Select returned %d seeds, want 3", len(seeds))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"privim/internal/bitset"
 	"privim/internal/diffusion"
@@ -136,6 +137,7 @@ func (c *CELF) SelectContext(ctx context.Context, k int) []graph.NodeID {
 	heap.Init(&q)
 
 	seeds := make([]graph.NodeID, 0, k)
+	evalBuf := make([]graph.NodeID, 0, k+1) // reused across stale re-evaluations
 	base := 0.0
 	for len(seeds) < k && q.Len() > 0 {
 		top := heap.Pop(&q).(*celfEntry)
@@ -160,7 +162,8 @@ func (c *CELF) SelectContext(ctx context.Context, k int) []graph.NodeID {
 			continue
 		}
 		// Stale: re-evaluate against the current seed set and push back.
-		cur := spread(append(append([]graph.NodeID{}, seeds...), top.node))
+		evalBuf = append(append(evalBuf[:0], seeds...), top.node)
+		cur := spread(evalBuf)
 		top.gain = cur - base
 		top.round = len(seeds)
 		heap.Push(&q, top)
@@ -211,21 +214,28 @@ func (g *Greedy) SelectContext(ctx context.Context, k int) []graph.NodeID {
 	chosen := make(map[graph.NodeID]bool, k)
 	seeds := make([]graph.NodeID, 0, k)
 	gains := make([]float64, g.NumNodes)
+	// Gain pass: independent per candidate, fanned out with serial inner
+	// estimates (no nesting). Each estimate is per-round-seeded, so gains
+	// match the serial solver exactly. Each worker reuses one candidate
+	// slice — seeds prefix plus a last slot that swaps per candidate —
+	// instead of re-appending a fresh O(k) slice every evaluation.
+	cands := make([][]graph.NodeID, workers)
+	gainPass := func(w, lo, hi int) {
+		cand := append(cands[w][:0], seeds...)
+		cand = append(cand, 0)
+		for v := lo; v < hi; v++ {
+			if chosen[graph.NodeID(v)] {
+				gains[v] = -1
+				continue
+			}
+			cand[len(cand)-1] = graph.NodeID(v)
+			gains[v] = diffusion.EstimateWorkers(g.Model, cand, rounds, g.Seed, 1)
+		}
+		cands[w] = cand
+	}
 	base := 0.0
 	for len(seeds) < k {
-		// Gain pass: independent per candidate, fanned out with serial
-		// inner estimates (no nesting). Each estimate is per-round-seeded,
-		// so gains match the serial solver exactly.
-		parallel.ForObserved(span, "im.greedy.gains", workers, g.NumNodes, 4, func(_, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				if chosen[graph.NodeID(v)] {
-					gains[v] = -1
-					continue
-				}
-				cand := append(append(make([]graph.NodeID, 0, len(seeds)+1), seeds...), graph.NodeID(v))
-				gains[v] = diffusion.EstimateWorkers(g.Model, cand, rounds, g.Seed, 1)
-			}
-		})
+		parallel.ForObserved(span, "im.greedy.gains", workers, g.NumNodes, 4, gainPass)
 		g.Evaluations += g.NumNodes - len(seeds)
 		// Serial argmax: first strict improvement wins, preserving the
 		// lowest-node-ID tie-break of the serial loop.
@@ -343,6 +353,21 @@ type RIS struct {
 	Workers int
 	// Obs, when non-nil, receives one ParallelFor event per Select call.
 	Obs obs.Observer
+
+	// sel persists the RR-set arena, cover index, per-worker scratches,
+	// and greedy buffers across Select calls (see DESIGN.md §"Scratch
+	// arenas"), so repeated selections on one solver reuse all storage.
+	sel *risState
+}
+
+// risState is the reusable storage behind RIS.Select.
+type risState struct {
+	arena   rrArena
+	cover   coverIndex
+	scratch *parallel.Scratch[*rrScratch]
+	locs    []rrLoc
+	covered []bool
+	count   []int
 }
 
 // Name implements Solver.
@@ -368,19 +393,28 @@ func (r *RIS) SelectContext(ctx context.Context, k int) []graph.NodeID {
 	// Build RR sets: from a uniform target, walk reverse arcs, keeping each
 	// with its influence probability. Set i draws target and arcs from its
 	// own stream, so generation parallelizes without changing the sample.
-	rrSets := make([][]graph.NodeID, samples)
-	generateRRSets(r.G, rrSets, 0, r.MaxDepth, r.Seed, r.Workers, span, "im.ris.rrsets")
-	coverOf := make([][]int32, n) // node -> RR-set indices it appears in
-	for i, set := range rrSets {
-		for _, v := range set {
-			coverOf[v] = append(coverOf[v], int32(i))
-		}
+	if r.sel == nil {
+		nodes := n
+		r.sel = &risState{scratch: parallel.NewScratch(func() *rrScratch { return newRRScratch(nodes) })}
 	}
+	st := r.sel
+	st.arena.reset()
+	st.locs, _ = generateRRSets(r.G, &st.arena, samples, 0, r.MaxDepth, r.Seed, r.Workers, st.scratch, st.locs, span, "im.ris.rrsets")
+	st.cover.build(&st.arena, n)
 	// Greedy max coverage over the RR sets.
-	covered := make([]bool, samples)
-	count := make([]int, n)
+	if cap(st.covered) < samples {
+		st.covered = make([]bool, samples)
+	}
+	covered := st.covered[:samples]
+	for i := range covered {
+		covered[i] = false
+	}
+	if cap(st.count) < n {
+		st.count = make([]int, n)
+	}
+	count := st.count[:n]
 	for v := 0; v < n; v++ {
-		count[v] = len(coverOf[v])
+		count[v] = len(st.cover.of(graph.NodeID(v)))
 	}
 	seeds := make([]graph.NodeID, 0, k)
 	for len(seeds) < k {
@@ -410,12 +444,12 @@ func (r *RIS) SelectContext(ctx context.Context, k int) []graph.NodeID {
 			break
 		}
 		seeds = append(seeds, graph.NodeID(best))
-		for _, si := range coverOf[best] {
+		for _, si := range st.cover.of(graph.NodeID(best)) {
 			if covered[si] {
 				continue
 			}
 			covered[si] = true
-			for _, v := range rrSets[si] {
+			for _, v := range st.arena.set(int(si)) {
 				count[v]--
 			}
 		}
@@ -424,55 +458,192 @@ func (r *RIS) SelectContext(ctx context.Context, k int) []graph.NodeID {
 	return seeds
 }
 
+// rrArena stores RR sets back-to-back in one flat backing slice: set i is
+// nodes[offs[i]:offs[i+1]]. Replacing per-set slices with one arena cuts
+// the sampler's allocation count from O(samples) to O(1) amortized and
+// keeps the sets cache-contiguous for the max-coverage sweeps.
+type rrArena struct {
+	nodes []graph.NodeID
+	offs  []uint32 // offs[0] == 0 once any set exists; len == numSets+1
+}
+
+// numSets returns the number of stored sets.
+func (a *rrArena) numSets() int {
+	if len(a.offs) == 0 {
+		return 0
+	}
+	return len(a.offs) - 1
+}
+
+// set returns set i as a view into the arena; callers must not retain it
+// across a reset.
+func (a *rrArena) set(i int) []graph.NodeID { return a.nodes[a.offs[i]:a.offs[i+1]] }
+
+// appendSet copies s to the end of the arena as the next set.
+func (a *rrArena) appendSet(s []graph.NodeID) {
+	if len(a.offs) == 0 {
+		a.offs = append(a.offs, 0)
+	}
+	a.nodes = append(a.nodes, s...)
+	a.offs = append(a.offs, uint32(len(a.nodes)))
+}
+
+// reset empties the arena, keeping capacity.
+func (a *rrArena) reset() { a.nodes, a.offs = a.nodes[:0], a.offs[:0] }
+
+// coverIndex maps node → indices of the RR sets containing it, in CSR
+// form: node v's set IDs are ids[offs[v]:offs[v+1]], ascending (sets are
+// scanned in index order), matching the historical append-built lists
+// exactly. Rebuilt via count → prefix-sum → fill passes over the arena,
+// reusing its buffers across builds.
+type coverIndex struct {
+	offs []uint32
+	ids  []int32
+	cur  []uint32 // fill cursors
+}
+
+func (c *coverIndex) build(a *rrArena, n int) {
+	if cap(c.offs) < n+1 {
+		c.offs = make([]uint32, n+1)
+	}
+	c.offs = c.offs[:n+1]
+	for i := range c.offs {
+		c.offs[i] = 0
+	}
+	for _, v := range a.nodes {
+		c.offs[v+1]++
+	}
+	for v := 0; v < n; v++ {
+		c.offs[v+1] += c.offs[v]
+	}
+	if cap(c.cur) < n {
+		c.cur = make([]uint32, n)
+	}
+	c.cur = c.cur[:n]
+	copy(c.cur, c.offs[:n])
+	if cap(c.ids) < len(a.nodes) {
+		c.ids = make([]int32, len(a.nodes))
+	}
+	c.ids = c.ids[:len(a.nodes)]
+	for i, m := 0, a.numSets(); i < m; i++ {
+		for _, v := range a.set(i) {
+			c.ids[c.cur[v]] = int32(i)
+			c.cur[v]++
+		}
+	}
+}
+
+// of returns the covering set indices of v; empty until build has run.
+func (c *coverIndex) of(v graph.NodeID) []int32 {
+	if len(c.offs) == 0 {
+		return nil
+	}
+	return c.ids[c.offs[v]:c.offs[v+1]]
+}
+
 // rrScratch is the reusable per-worker state of the RR-set sampler: a
-// dense visited set plus frontier buffers, so each draw allocates only the
-// returned set (the old per-call map was the sampler's dominant cost).
+// dense visited set, frontier buffers, and a worker-private arena that
+// draws append into (compacted into the shared arena after the fan-out),
+// so steady-state generation performs zero heap work.
 type rrScratch struct {
 	seen           *bitset.Set
 	frontier, next []graph.NodeID
+	arena          []graph.NodeID // this worker's draws, pending compaction
+	rng            *parallel.StreamRNG
 }
 
-func newRRScratch(n int) *rrScratch { return &rrScratch{seen: bitset.New(n)} }
+func newRRScratch(n int) *rrScratch {
+	return &rrScratch{seen: bitset.New(n), rng: parallel.NewStreamRNG()}
+}
 
-// generateRRSets fills rrSets[i] for every i with a set drawn from the
-// stream derived from (seed, base+i) — base offsets the stream index so
+// rrLoc records where a set landed during the parallel fan-out: worker
+// w's private arena, at [start, end). Indexed by global set index, it
+// lets the compaction pass stitch the shared arena together in set-index
+// order no matter which worker drew which set.
+type rrLoc struct {
+	worker     int32
+	start, end uint32
+}
+
+// rrGenState carries one generateRRSets call's parameters into a worker
+// body that is built once and pooled, so steady-state batches do not pay
+// a closure allocation per call (same pattern as diffusion's estState).
+type rrGenState struct {
+	g        *graph.Graph
+	n        int
+	base     int
+	maxDepth int
+	seed     int64
+	scratch  *parallel.Scratch[*rrScratch]
+	locs     []rrLoc
+	body     func(w, lo, hi int)
+}
+
+var rrGenPool = sync.Pool{New: func() any {
+	gs := &rrGenState{}
+	gs.body = func(w, lo, hi int) {
+		sc := gs.scratch.Get(w)
+		for i := lo; i < hi; i++ {
+			// Repositioning the per-worker RNG is stream-identical to a
+			// fresh parallel.Stream(seed, base+i), minus the allocation.
+			sc.rng.SetStream(gs.seed, uint64(gs.base+i))
+			target := graph.NodeID(sc.rng.Intn(gs.n))
+			s, e := reverseReachable(gs.g, target, gs.maxDepth, sc.rng.Rand, sc)
+			gs.locs[i] = rrLoc{worker: int32(w), start: s, end: e}
+		}
+	}
+	return gs
+}}
+
+// generateRRSets appends count sets to arena, set base+j drawn from the
+// stream derived from (seed, base+j) — base offsets the stream index so
 // incremental callers (IMM) keep set identities stable across batches. It
-// fans the draws out on the worker pool with one scratch per worker and
-// returns the pool stats; a non-nil parent span gets a child span and a
+// fans the draws out on the worker pool with one scratch per worker:
+// each worker appends into its private arena and records locations in
+// locs (disjoint writes), then a sequential compaction pass copies sets
+// into the shared arena in index order, so the result is bit-identical
+// at any worker count. Returns the (possibly regrown) locs buffer and
+// the pool stats; a non-nil parent span gets a child span and a
 // ParallelFor event under the given site name.
-func generateRRSets(g *graph.Graph, rrSets [][]graph.NodeID, base int, maxDepth int, seed int64, workers int, parent *obs.Span, site string) parallel.Stats {
+func generateRRSets(g *graph.Graph, arena *rrArena, count, base, maxDepth int, seed int64, workers int, scratch *parallel.Scratch[*rrScratch], locs []rrLoc, parent *obs.Span, site string) ([]rrLoc, parallel.Stats) {
 	n := g.NumNodes()
 	workers = parallel.Resolve(workers)
-	if workers > len(rrSets) {
-		workers = len(rrSets)
+	if workers > count {
+		workers = count
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	scratch := make([]*rrScratch, workers)
-	return parallel.ForObserved(parent, site, workers, len(rrSets), 16, func(w, lo, hi int) {
-		sc := scratch[w]
-		if sc == nil {
-			sc = newRRScratch(n)
-			scratch[w] = sc
-		}
-		for i := lo; i < hi; i++ {
-			rng := parallel.Stream(seed, uint64(base+i))
-			target := graph.NodeID(rng.Intn(n))
-			rrSets[i] = reverseReachable(g, target, maxDepth, rng, sc)
-		}
-	})
+	scratch.Grow(workers)
+	if cap(locs) < count {
+		locs = make([]rrLoc, count)
+	}
+	locs = locs[:count]
+	gs := rrGenPool.Get().(*rrGenState)
+	gs.g, gs.n, gs.base, gs.maxDepth, gs.seed = g, n, base, maxDepth, seed
+	gs.scratch, gs.locs = scratch, locs
+	st := parallel.ForObserved(parent, site, workers, count, 16, gs.body)
+	gs.g, gs.scratch, gs.locs = nil, nil, nil // don't pin caller data in the pool
+	rrGenPool.Put(gs)
+	for i := range locs {
+		sc := scratch.Get(int(locs[i].worker))
+		arena.appendSet(sc.arena[locs[i].start:locs[i].end])
+	}
+	scratch.Each(func(_ int, sc *rrScratch) { sc.arena = sc.arena[:0] })
+	return locs, st
 }
 
 // reverseReachable samples one reverse-reachable set from target: a BFS
 // over in-arcs keeping each arc with its influence probability, optionally
-// depth-bounded (maxDepth 0 = unbounded). sc is clobbered and left clean
-// (seen empty) for the next draw.
-func reverseReachable(g *graph.Graph, target graph.NodeID, maxDepth int, rng *rand.Rand, sc *rrScratch) []graph.NodeID {
+// depth-bounded (maxDepth 0 = unbounded). The set is appended to sc.arena
+// and returned as its [start, end) offsets; sc is left clean (seen empty)
+// for the next draw.
+func reverseReachable(g *graph.Graph, target graph.NodeID, maxDepth int, rng *rand.Rand, sc *rrScratch) (start, end uint32) {
+	start = uint32(len(sc.arena))
 	sc.seen.Add(int(target))
+	sc.arena = append(sc.arena, target)
 	frontier := append(sc.frontier[:0], target)
 	next := sc.next[:0]
-	set := []graph.NodeID{target}
 	for depth := 0; len(frontier) > 0; depth++ {
 		if maxDepth > 0 && depth >= maxDepth {
 			break
@@ -486,7 +657,7 @@ func reverseReachable(g *graph.Graph, target graph.NodeID, maxDepth int, rng *ra
 				if rng.Float64() < a.Weight {
 					sc.seen.Add(int(a.To))
 					next = append(next, a.To)
-					set = append(set, a.To)
+					sc.arena = append(sc.arena, a.To)
 				}
 			}
 		}
@@ -494,10 +665,10 @@ func reverseReachable(g *graph.Graph, target graph.NodeID, maxDepth int, rng *ra
 	}
 	sc.frontier, sc.next = frontier, next
 	// Reset only the touched bits: O(|set|), not O(n).
-	for _, v := range set {
+	for _, v := range sc.arena[start:] {
 		sc.seen.Remove(int(v))
 	}
-	return set
+	return start, uint32(len(sc.arena))
 }
 
 // topKBy returns the k node IDs with the highest score, ties broken by ID

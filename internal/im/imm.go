@@ -6,6 +6,7 @@ import (
 
 	"privim/internal/graph"
 	"privim/internal/obs"
+	"privim/internal/parallel"
 )
 
 // IMM implements Influence Maximization via Martingales (Tang, Shi, Xiao —
@@ -41,37 +42,49 @@ type IMM struct {
 // Name implements Solver.
 func (s *IMM) Name() string { return "imm" }
 
-// rrSets generates count reverse-reachable sets (appending to the given
-// coverage index) and returns the updated collection.
+// rrIndex accumulates reverse-reachable sets in a flat arena with a CSR
+// coverage index, plus the per-worker generation scratches and greedy
+// buffers, all reused across the incremental batches of IMM's two phases.
 type rrIndex struct {
-	sets    [][]graph.NodeID
-	coverOf [][]int32
+	n       int
+	arena   rrArena
+	cover   coverIndex
+	scratch *parallel.Scratch[*rrScratch]
+	locs    []rrLoc
+	covered []bool
+	count   []int
 }
 
 func newRRIndex(n int) *rrIndex {
-	return &rrIndex{coverOf: make([][]int32, n)}
+	return &rrIndex{
+		n:       n,
+		scratch: parallel.NewScratch(func() *rrScratch { return newRRScratch(n) }),
+	}
 }
 
 func (ix *rrIndex) generate(g *graph.Graph, count, maxDepth int, seed int64, workers int, parent *obs.Span) {
-	base := len(ix.sets)
-	batch := make([][]graph.NodeID, count)
-	generateRRSets(g, batch, base, maxDepth, seed, workers, parent, "im.imm.rrsets")
-	for _, set := range batch {
-		id := int32(len(ix.sets))
-		ix.sets = append(ix.sets, set)
-		for _, v := range set {
-			ix.coverOf[v] = append(ix.coverOf[v], id)
-		}
-	}
+	base := ix.arena.numSets()
+	ix.locs, _ = generateRRSets(g, &ix.arena, count, base, maxDepth, seed, workers, ix.scratch, ix.locs, parent, "im.imm.rrsets")
+	ix.cover.build(&ix.arena, ix.n)
 }
 
 // maxCover greedily picks k nodes covering the most RR sets and returns
 // them with the covered fraction.
 func (ix *rrIndex) maxCover(n, k int) ([]graph.NodeID, float64) {
-	covered := make([]bool, len(ix.sets))
-	count := make([]int, n)
+	numSets := ix.arena.numSets()
+	if cap(ix.covered) < numSets {
+		ix.covered = make([]bool, numSets)
+	}
+	covered := ix.covered[:numSets]
+	for i := range covered {
+		covered[i] = false
+	}
+	if cap(ix.count) < n {
+		ix.count = make([]int, n)
+	}
+	count := ix.count[:n]
 	for v := 0; v < n; v++ {
-		count[v] = len(ix.coverOf[v])
+		count[v] = len(ix.cover.of(graph.NodeID(v)))
 	}
 	seeds := make([]graph.NodeID, 0, k)
 	totalCovered := 0
@@ -93,11 +106,11 @@ func (ix *rrIndex) maxCover(n, k int) ([]graph.NodeID, float64) {
 			break
 		}
 		seeds = append(seeds, graph.NodeID(best))
-		for _, si := range ix.coverOf[best] {
+		for _, si := range ix.cover.of(graph.NodeID(best)) {
 			if !covered[si] {
 				covered[si] = true
 				totalCovered++
-				for _, v := range ix.sets[si] {
+				for _, v := range ix.arena.set(int(si)) {
 					if count[v] > 0 {
 						count[v]--
 					}
@@ -106,10 +119,10 @@ func (ix *rrIndex) maxCover(n, k int) ([]graph.NodeID, float64) {
 		}
 		count[best] = -1
 	}
-	if len(ix.sets) == 0 {
+	if numSets == 0 {
 		return seeds, 0
 	}
-	return seeds, float64(totalCovered) / float64(len(ix.sets))
+	return seeds, float64(totalCovered) / float64(numSets)
 }
 
 // Select implements Solver following IMM's two phases.
@@ -159,7 +172,7 @@ func (s *IMM) SelectContext(ctx context.Context, k int) []graph.NodeID {
 		if thetaI > maxSamples {
 			thetaI = maxSamples
 		}
-		if need := thetaI - len(ix.sets); need > 0 {
+		if need := thetaI - ix.arena.numSets(); need > 0 {
 			ix.generate(s.G, need, s.MaxDepth, s.Seed, s.Workers, span)
 		}
 		_, frac := ix.maxCover(n, k)
@@ -167,7 +180,7 @@ func (s *IMM) SelectContext(ctx context.Context, k int) []graph.NodeID {
 			lb = fn * frac / (1 + epsPrime)
 			break
 		}
-		if len(ix.sets) >= maxSamples {
+		if ix.arena.numSets() >= maxSamples {
 			break
 		}
 	}
@@ -180,7 +193,7 @@ func (s *IMM) SelectContext(ctx context.Context, k int) []graph.NodeID {
 	if theta > maxSamples {
 		theta = maxSamples
 	}
-	if need := theta - len(ix.sets); need > 0 {
+	if need := theta - ix.arena.numSets(); need > 0 {
 		ix.generate(s.G, need, s.MaxDepth, s.Seed, s.Workers, span)
 	}
 	seeds, _ := ix.maxCover(n, k)

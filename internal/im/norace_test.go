@@ -1,0 +1,5 @@
+//go:build !race
+
+package im
+
+const raceEnabled = false

@@ -70,19 +70,26 @@ func TestSolversWorkerInvariant(t *testing.T) {
 // one batch of 2n sets equals two stacked batches of n.
 func TestGenerateRRSetsStreamStable(t *testing.T) {
 	g := parallelTestGraph(t)
-	whole := make([][]graph.NodeID, 100)
-	generateRRSets(g, whole, 0, 0, 42, 3, nil, "")
-	first := make([][]graph.NodeID, 60)
-	generateRRSets(g, first, 0, 0, 42, 2, nil, "")
-	second := make([][]graph.NodeID, 40)
-	generateRRSets(g, second, 60, 0, 42, 5, nil, "")
-	stacked := append(first, second...)
-	for i := range whole {
-		if len(whole[i]) != len(stacked[i]) {
-			t.Fatalf("set %d: %d vs %d nodes", i, len(whole[i]), len(stacked[i]))
+	newScratch := func() *parallel.Scratch[*rrScratch] {
+		return parallel.NewScratch(func() *rrScratch { return newRRScratch(g.NumNodes()) })
+	}
+	var whole rrArena
+	generateRRSets(g, &whole, 100, 0, 0, 42, 3, newScratch(), nil, nil, "")
+	// Two stacked batches at different widths into one arena.
+	var stacked rrArena
+	sc := newScratch()
+	locs, _ := generateRRSets(g, &stacked, 60, 0, 0, 42, 2, sc, nil, nil, "")
+	generateRRSets(g, &stacked, 40, 60, 0, 42, 5, sc, locs, nil, "")
+	if whole.numSets() != stacked.numSets() {
+		t.Fatalf("%d vs %d sets", whole.numSets(), stacked.numSets())
+	}
+	for i := 0; i < whole.numSets(); i++ {
+		a, b := whole.set(i), stacked.set(i)
+		if len(a) != len(b) {
+			t.Fatalf("set %d: %d vs %d nodes", i, len(a), len(b))
 		}
-		for j := range whole[i] {
-			if whole[i][j] != stacked[i][j] {
+		for j := range a {
+			if a[j] != b[j] {
 				t.Fatalf("set %d node %d differs", i, j)
 			}
 		}
@@ -97,7 +104,8 @@ func TestReverseReachableScratchClean(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		rng := parallel.Stream(3, uint64(i))
 		target := graph.NodeID(rng.Intn(g.NumNodes()))
-		set := reverseReachable(g, target, 0, rng, sc)
+		start, end := reverseReachable(g, target, 0, rng, sc)
+		set := sc.arena[start:end]
 		if len(set) == 0 || set[0] != target {
 			t.Fatalf("draw %d: set %v does not start at target %d", i, set, target)
 		}

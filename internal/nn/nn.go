@@ -140,6 +140,17 @@ func (g *Grads) CopyFrom(o *Grads) {
 // disjoint gradients and run on the shared worker pool.
 func SumTree(grads []*Grads, workers int) {
 	n := len(grads)
+	if parallel.Resolve(workers) == 1 {
+		// Same pair order as the fanned-out path (disjoint writes make the
+		// dynamic schedule irrelevant), minus the per-level closure the
+		// goroutine fan-out needs — the serial path allocates nothing.
+		for stride := 1; stride < n; stride *= 2 {
+			for i := 0; i+stride < n; i += 2 * stride {
+				grads[i].Add(1, grads[i+stride])
+			}
+		}
+		return
+	}
 	for stride := 1; stride < n; stride *= 2 {
 		pairs := 0
 		for i := 0; i+stride < n; i += 2 * stride {
@@ -222,6 +233,17 @@ func Bind(tp *autodiff.Tape, ps *ParamSet) []*autodiff.Node {
 		nodes[i] = tp.Leaf(p.Value)
 	}
 	return nodes
+}
+
+// BindInto is Bind reusing the caller's slice (typically bound[:0] from
+// the previous iteration on a reset tape), so steady-state training
+// iterations bind parameters without allocating.
+func BindInto(tp *autodiff.Tape, ps *ParamSet, into []*autodiff.Node) []*autodiff.Node {
+	into = into[:0]
+	for _, p := range ps.params {
+		into = append(into, tp.Leaf(p.Value))
+	}
+	return into
 }
 
 // Collect copies the gradients accumulated on bound parameter nodes into a

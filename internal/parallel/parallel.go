@@ -137,6 +137,10 @@ func For(workers, n, grain int, fn func(worker, lo, hi int)) Stats {
 		workers = chunks
 	}
 	totalParallel.Add(1)
+	// Capture a never-reassigned copy: capturing grain itself (assigned
+	// above) would force it to the heap in For's prologue, costing one
+	// allocation even on the inline serial path.
+	sz := grain
 	var cursor atomic.Int64
 	ran := make([]int, workers)
 	var wg sync.WaitGroup
@@ -149,8 +153,8 @@ func For(workers, n, grain int, fn func(worker, lo, hi int)) Stats {
 				if c >= chunks {
 					return
 				}
-				lo := c * grain
-				hi := lo + grain
+				lo := c * sz
+				hi := lo + sz
 				if hi > n {
 					hi = n
 				}
@@ -205,4 +209,27 @@ func (s *source) Seed(seed int64) { s.state = splitmix64(uint64(seed)) }
 // indices decorrelate through a double SplitMix64 avalanche.
 func Stream(seed int64, i uint64) *rand.Rand {
 	return rand.New(&source{state: splitmix64(splitmix64(uint64(seed)) + i)})
+}
+
+// StreamRNG is a reusable stream generator: SetStream repositions it to
+// any (seed, i) stream of the Stream family without allocating, so hot
+// loops that burn one stream per work item (RR-set draws, Monte-Carlo
+// rounds) can keep one StreamRNG per worker instead of a rand.New per
+// item. Not safe for concurrent use; keep one per worker.
+type StreamRNG struct {
+	src source
+	*rand.Rand
+}
+
+// NewStreamRNG returns a StreamRNG positioned at Stream(0, 0).
+func NewStreamRNG() *StreamRNG {
+	r := &StreamRNG{}
+	r.Rand = rand.New(&r.src)
+	return r
+}
+
+// SetStream repositions r so its subsequent draws are exactly those of a
+// fresh Stream(seed, i).
+func (r *StreamRNG) SetStream(seed int64, i uint64) {
+	r.src.state = splitmix64(splitmix64(uint64(seed)) + i)
 }

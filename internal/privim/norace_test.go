@@ -1,0 +1,5 @@
+//go:build !race
+
+package privim
+
+const raceEnabled = false

@@ -188,12 +188,22 @@ func TrainContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 		batchGrads[i] = nn.NewGrads(model.Params)
 	}
 
-	// Pre-compute per-subgraph features once: they derive from subgraph
-	// structure only.
+	// Pre-compute per-subgraph features, Forward preps (aggregation
+	// operators, edge lists), and loss operators once: they derive from
+	// subgraph structure only, and rebuilding them per sample per
+	// iteration was the second-largest allocation source after the tape.
 	features := make([]*tensor.Matrix, container.Len())
+	preps := make([]*gnn.Prep, container.Len())
+	lossAdj := make([]*autodiff.SparseMat, container.Len())
 	for i, s := range container.Subgraphs {
 		features[i] = tensor.FromSlice(s.G.NumNodes(), dataset.NumStructuralFeatures,
 			dataset.StructuralFeatures(s.G))
+		preps[i] = model.NewPrep(s.G)
+		if cfg.Objective == ObjectiveMaxCover {
+			lossAdj[i] = gnn.CoverMatrix(s.G)
+		} else {
+			lossAdj[i] = autodiff.InAdjacency(s.G)
+		}
 	}
 
 	m3 := root.Child("module3.dpsgd")
@@ -227,39 +237,66 @@ func TrainContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 
 	batchLosses := make([]float64, batch)
 	batchNorms := make([]float64, batch)
+	picks := make([]int, batch)
+
+	// Per-worker scratch: one tape (node arena + matrix pool) and one
+	// bound-parameter slice per worker slot, reused across samples and
+	// iterations. Tape buffers never leave the worker — losses and
+	// gradients are copied out into batchLosses/batchGrads before the
+	// tape is reset by the next sample.
+	scratch := parallel.NewScratch(func() *trainScratch {
+		return &trainScratch{tape: autodiff.NewTape()}
+	})
+	scratch.Grow(workers)
+
+	// The pass bodies are hoisted out of the iteration loop: closures
+	// handed to parallel.For escape (For spawns goroutines), so building
+	// them per iteration would allocate; every captured variable below is
+	// loop-invariant.
+	forwardLoss := func(sc *trainScratch, idx int) *autodiff.Node {
+		s := container.Subgraphs[idx]
+		sc.tape.Reset()
+		sc.bound = nn.BindInto(sc.tape, model.Params, sc.bound)
+		scores := model.ForwardPrep(sc.tape, sc.bound, s.G, features[idx], preps[idx])
+		if cfg.Objective == ObjectiveMaxCover {
+			return gnn.MaxCoverLossCover(sc.tape, s.G, scores, cfg.CoverBudget, 1, lossAdj[idx])
+		}
+		return gnn.IMLossAdj(sc.tape, s.G, scores, lossCfg, lossAdj[idx])
+	}
+	gradPass := func(w, lo, hi int) {
+		sc := scratch.Get(w)
+		for b := lo; b < hi; b++ {
+			idx := picks[b]
+			loss := forwardLoss(sc, idx)
+			sc.tape.Backward(loss)
+			batchLosses[b] = loss.Value.Data[0] / float64(container.Subgraphs[idx].G.NumNodes())
+			nn.Collect(sc.bound, batchGrads[b])
+			switch {
+			case cfg.privatized():
+				// ClipL2 reports the pre-clip norm for free.
+				batchNorms[b] = batchGrads[b].ClipL2(cfg.ClipBound)
+			case o != nil:
+				batchNorms[b] = batchGrads[b].Norm2()
+			}
+		}
+	}
+	noisyPass := func(w, lo, hi int) {
+		sc := scratch.Get(w)
+		for b := lo; b < hi; b++ {
+			idx := picks[b]
+			loss := forwardLoss(sc, idx)
+			batchLosses[b] = loss.Value.Data[0] / float64(container.Subgraphs[idx].G.NumNodes())
+		}
+	}
+
 	var poolStats parallel.Stats
 	for t := startIter; t < cfg.Iterations; t++ {
 		// Draw the whole batch first so rng consumption is independent of
 		// scheduling, then fan the per-sample passes out to the pool.
-		picks := make([]int, batch)
 		for b := range picks {
 			picks[b] = rng.Intn(container.Len())
 		}
-		st := parallel.For(workers, batch, 1, func(_, lo, hi int) {
-			for b := lo; b < hi; b++ {
-				idx := picks[b]
-				s := container.Subgraphs[idx]
-				tp := autodiff.NewTape()
-				boundParams := nn.Bind(tp, model.Params)
-				scores := model.Forward(tp, boundParams, s.G, features[idx])
-				var loss *autodiff.Node
-				if cfg.Objective == ObjectiveMaxCover {
-					loss = gnn.MaxCoverLoss(tp, s.G, scores, cfg.CoverBudget, 1)
-				} else {
-					loss = gnn.IMLoss(tp, s.G, scores, lossCfg)
-				}
-				tp.Backward(loss)
-				batchLosses[b] = loss.Value.Data[0] / float64(s.G.NumNodes())
-				nn.Collect(boundParams, batchGrads[b])
-				switch {
-				case cfg.privatized():
-					// ClipL2 reports the pre-clip norm for free.
-					batchNorms[b] = batchGrads[b].ClipL2(cfg.ClipBound)
-				case o != nil:
-					batchNorms[b] = batchGrads[b].Norm2()
-				}
-			}
-		})
+		st := parallel.For(workers, batch, 1, gradPass)
 		poolStats.Workers = st.Workers
 		poolStats.Chunks += st.Chunks
 		poolStats.MaxChunks += st.MaxChunks
@@ -296,7 +333,15 @@ func TrainContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 				}
 			}
 		}
-		noisyLoss := batchMeanLoss(model, container, features, picks, cfg, lossCfg, workers, batchLosses)
+		// Re-evaluate the same batch against the post-update parameters — a
+		// forward-only pass, recorded as the post-noise loss. batchLosses is
+		// clobbered here; the pre-update mean was taken above.
+		parallel.For(workers, batch, 1, noisyPass)
+		noisyLoss := 0.0
+		for b := 0; b < batch; b++ {
+			noisyLoss += batchLosses[b]
+		}
+		noisyLoss /= float64(batch)
 		res.NoisyLossHistory = append(res.NoisyLossHistory, noisyLoss)
 		if o != nil {
 			var gradNorm, clipped float64
@@ -354,33 +399,12 @@ func TrainContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 	return res, nil
 }
 
-// batchMeanLoss re-evaluates the mean per-sample loss of an already-drawn
-// batch against the current parameters — a forward-only pass on the same
-// worker pool, recorded as the post-noise loss (Result.NoisyLossHistory).
-// scratch must have capacity for len(picks) entries and is clobbered.
-func batchMeanLoss(model *gnn.Model, container *sampling.Container, features []*tensor.Matrix,
-	picks []int, cfg Config, lossCfg gnn.LossConfig, workers int, scratch []float64) float64 {
-	parallel.For(workers, len(picks), 1, func(_, lo, hi int) {
-		for b := lo; b < hi; b++ {
-			idx := picks[b]
-			s := container.Subgraphs[idx]
-			tp := autodiff.NewTape()
-			boundParams := nn.Bind(tp, model.Params)
-			scores := model.Forward(tp, boundParams, s.G, features[idx])
-			var loss *autodiff.Node
-			if cfg.Objective == ObjectiveMaxCover {
-				loss = gnn.MaxCoverLoss(tp, s.G, scores, cfg.CoverBudget, 1)
-			} else {
-				loss = gnn.IMLoss(tp, s.G, scores, lossCfg)
-			}
-			scratch[b] = loss.Value.Data[0] / float64(s.G.NumNodes())
-		}
-	})
-	mean := 0.0
-	for b := 0; b < len(picks); b++ {
-		mean += scratch[b]
-	}
-	return mean / float64(len(picks))
+// trainScratch is one worker slot's reusable state for the DP-SGD passes:
+// a tape whose Reset recycles every node and matrix between samples, and
+// the bound-parameter slice rebuilt (in place) on it each sample.
+type trainScratch struct {
+	tape  *autodiff.Tape
+	bound []*autodiff.Node
 }
 
 // addSML adds symmetric multivariate Laplace noise of scale s to every

@@ -70,24 +70,34 @@ func (c *Container) Merge(o *Container) {
 }
 
 // weakNeighbors lists each node's neighbors under the weak (undirected)
-// view, deduplicated, computed once per extraction.
+// view, deduplicated, computed once per extraction. All lists share one
+// flat backing array, and dedup uses a per-node epoch stamp instead of a
+// per-node map, so the whole table costs three allocations.
 func weakNeighbors(g *graph.Graph) [][]graph.NodeID {
 	n := g.NumNodes()
 	out := make([][]graph.NodeID, n)
+	total := 0
 	for v := 0; v < n; v++ {
-		seen := make(map[graph.NodeID]bool)
+		total += len(g.Out(graph.NodeID(v))) + len(g.In(graph.NodeID(v)))
+	}
+	backing := make([]graph.NodeID, 0, total)
+	seen := make([]int32, n) // seen[u] == v+1 ⇔ u already listed for v
+	for v := 0; v < n; v++ {
+		epoch := int32(v + 1)
+		start := len(backing)
 		for _, a := range g.Out(graph.NodeID(v)) {
-			if a.To != graph.NodeID(v) && !seen[a.To] {
-				seen[a.To] = true
-				out[v] = append(out[v], a.To)
+			if a.To != graph.NodeID(v) && seen[a.To] != epoch {
+				seen[a.To] = epoch
+				backing = append(backing, a.To)
 			}
 		}
 		for _, a := range g.In(graph.NodeID(v)) {
-			if a.To != graph.NodeID(v) && !seen[a.To] {
-				seen[a.To] = true
-				out[v] = append(out[v], a.To)
+			if a.To != graph.NodeID(v) && seen[a.To] != epoch {
+				seen[a.To] = epoch
+				backing = append(backing, a.To)
 			}
 		}
+		out[v] = backing[start:len(backing):len(backing)]
 	}
 	return out
 }
@@ -370,27 +380,42 @@ func ExtractDualStage(g *graph.Graph, cfg FreqConfig, rng *rand.Rand) (*Containe
 // RWR extraction updating freq in place. size is the target subgraph size;
 // stats (nil-safe) records walk telemetry.
 func freqSampling(g *graph.Graph, nbrs [][]graph.NodeID, freq []int, cfg FreqConfig, size int, allow map[graph.NodeID]bool, container *Container, rng *rand.Rand, stats *extractionStats) {
+	// Walk state reused across starts: seen is an epoch-stamped membership
+	// set (seen[u] == v+1 ⇔ u collected during the walk started at v),
+	// order is the collection buffer (Induce copies it into the subgraph,
+	// so clobbering it on the next walk is safe), and weights is the Eq. 9
+	// buffer sized for the maximum weak degree.
+	seen := make([]int32, g.NumNodes())
+	order := make([]graph.NodeID, 0, size)
+	maxDeg := 0
+	for _, l := range nbrs {
+		if len(l) > maxDeg {
+			maxDeg = len(l)
+		}
+	}
+	weights := make([]float64, maxDeg)
 	for v := 0; v < g.NumNodes(); v++ {
 		if rng.Float64() >= cfg.SamplingRate || freq[v] >= cfg.Threshold {
 			continue
 		}
 		v0 := graph.NodeID(v)
-		collected := map[graph.NodeID]bool{v0: true}
-		order := []graph.NodeID{v0}
+		epoch := int32(v + 1)
+		seen[v0] = epoch
+		order = append(order[:0], v0)
 		cur := v0
 		steps := 0
 		for ; steps < cfg.WalkLength && len(order) < size; steps++ {
 			if rng.Float64() < cfg.Tau {
 				cur = v0
 			}
-			next, ok := sampleByFrequency(nbrs[cur], freq, cfg, allow, rng)
+			next, ok := sampleByFrequency(nbrs[cur], freq, cfg, allow, weights, rng)
 			if !ok {
 				cur = v0
 				continue
 			}
 			cur = next
-			if !collected[next] {
-				collected[next] = true
+			if seen[next] != epoch {
+				seen[next] = epoch
 				order = append(order, next)
 			}
 		}
@@ -406,10 +431,15 @@ func freqSampling(g *graph.Graph, nbrs [][]graph.NodeID, freq []int, cfg FreqCon
 }
 
 // sampleByFrequency implements Eq. 9: neighbor v is drawn with probability
-// proportional to e_v = 1/(f_v+1)^µ, with e_v = 0 once f_v ≥ M.
-func sampleByFrequency(cands []graph.NodeID, freq []int, cfg FreqConfig, allow map[graph.NodeID]bool, rng *rand.Rand) (graph.NodeID, bool) {
+// proportional to e_v = 1/(f_v+1)^µ, with e_v = 0 once f_v ≥ M. weights is
+// a caller-owned scratch buffer with cap ≥ len(cands); its leading entries
+// are zeroed here, so reuse across calls is safe.
+func sampleByFrequency(cands []graph.NodeID, freq []int, cfg FreqConfig, allow map[graph.NodeID]bool, weights []float64, rng *rand.Rand) (graph.NodeID, bool) {
 	total := 0.0
-	weights := make([]float64, len(cands))
+	weights = weights[:len(cands)]
+	for i := range weights {
+		weights[i] = 0
+	}
 	for i, c := range cands {
 		if allow != nil && !allow[c] {
 			continue

@@ -34,6 +34,12 @@ type cacheEntry struct {
 	val any
 }
 
+// cacheCopier lets values opt into defensive copying at insertion: Put
+// stores the copy, so the cache owns its data outright and later mutation
+// of the original's backing arrays (solver buffer reuse, caller-side
+// sorting) cannot corrupt memoized responses.
+type cacheCopier interface{ CopyForCache() any }
+
 // newLRUCache returns an empty cache holding at most capacity entries
 // (capacity < 1 is clamped to 1).
 func newLRUCache(capacity int) *lruCache {
@@ -60,8 +66,12 @@ func (c *lruCache) Get(k cacheKey) (any, bool) {
 }
 
 // Put inserts or refreshes k→v, evicting the least recently used entry
-// when the cache is full.
+// when the cache is full. Values implementing cacheCopier are stored by
+// copy.
 func (c *lruCache) Put(k cacheKey, v any) {
+	if cp, ok := v.(cacheCopier); ok {
+		v = cp.CopyForCache()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {

@@ -1,6 +1,10 @@
 package serve
 
-import "testing"
+import (
+	"testing"
+
+	"privim/internal/graph"
+)
 
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
@@ -33,6 +37,29 @@ func TestLRUCacheEviction(t *testing.T) {
 	}
 	if c.Len() != 2 {
 		t.Fatalf("Len after refresh = %d, want 2", c.Len())
+	}
+}
+
+// TestCachePutStoresByCopy verifies a queryResponse is snapshotted at Put
+// time: mutating the original's slices afterwards must not change what
+// Get returns.
+func TestCachePutStoresByCopy(t *testing.T) {
+	c := newLRUCache(2)
+	key := cacheKey{Model: "m@1", Fingerprint: 7, K: 2, Mode: "seeds"}
+	resp := queryResponse{
+		Seeds:  []graph.NodeID{3, 1},
+		Scores: []float64{0.5, 0.25},
+	}
+	c.Put(key, resp)
+	resp.Seeds[0] = 99
+	resp.Scores[0] = -1
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("cached response missing")
+	}
+	cached := got.(queryResponse)
+	if cached.Seeds[0] != 3 || cached.Scores[0] != 0.5 {
+		t.Fatalf("cache aliased caller slices: %+v", cached)
 	}
 }
 

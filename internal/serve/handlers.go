@@ -160,6 +160,15 @@ type queryResponse struct {
 	Cached      bool           `json:"cached"`
 }
 
+// CopyForCache implements cacheCopier: the cached response deep-copies
+// its slice-valued fields, so the memoized seeds/scores stay intact even
+// if the compute path's backing arrays are reused or mutated later.
+func (q queryResponse) CopyForCache() any {
+	q.Seeds = append([]graph.NodeID(nil), q.Seeds...)
+	q.Scores = append([]float64(nil), q.Scores...)
+	return q
+}
+
 // resolveQuery decodes and resolves the shared parts of a query request.
 func (s *Server) resolveQuery(w http.ResponseWriter, r *http.Request) (*modelEntry, *graphEntry, queryRequest, bool) {
 	var req queryRequest

@@ -209,6 +209,53 @@ func gemmRows(out, a, b *Matrix, lo, hi int) {
 	}
 }
 
+// MatMulNTInto accumulates out += a·bᵀ without materializing the
+// transpose: out is a.Rows×b.Rows and the shared dimension is
+// a.Cols == b.Cols. Each output element is a dot product of two
+// contiguous rows, accumulated k-ascending, so the result is
+// deterministic and cache-friendly. Serial by design — the backward
+// passes that call it already run one-per-sample under the worker pool.
+func MatMulNTInto(out, a, b *Matrix) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic("tensor: MatMulNTInto shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] += s
+		}
+	}
+}
+
+// MatMulTNInto accumulates out += aᵀ·b without materializing the
+// transpose: out is a.Cols×b.Cols and the shared dimension is
+// a.Rows == b.Rows. Per output element the accumulation order is k
+// (shared-row) ascending. Serial by design, like MatMulNTInto.
+func MatMulTNInto(out, a, b *Matrix) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic("tensor: MatMulTNInto shape mismatch")
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
 // Transpose returns mᵀ.
 func Transpose(m *Matrix) *Matrix {
 	t := New(m.Cols, m.Rows)
