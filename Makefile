@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race cover bench bench-all bench-smoke bench-diff alloc-smoke suite suite-paper examples fuzz serve-smoke crash-smoke budget-smoke trace-smoke clean
+.PHONY: all build test vet lint race cover bench bench-all bench-smoke bench-diff alloc-smoke suite suite-paper examples fuzz serve-smoke crash-smoke budget-smoke trace-smoke cancel-smoke clean
 
 all: build vet test
 
@@ -94,6 +94,15 @@ crash-smoke:
 budget-smoke:
 	$(GO) test -race -run 'Budget|Ledger|Refund|Forfeit|Epsilon|Compos' \
 		./internal/ledger/ ./internal/dp/ ./internal/serve/
+
+# Cancellation suite under the race detector: ForCtx chunk-boundary
+# preemption, cancel-and-resume bit-identity in training, typed
+# CanceledError plumbing in diffusion/IM, and the serve layer's
+# DELETE-running-job / drain-grace / partial-epsilon settlement e2e.
+cancel-smoke:
+	$(GO) test -race -run 'Cancel|ForCtx|Preempt|DrainGrace|SelectContext|EstimateContext' \
+		./internal/parallel/ ./internal/obs/ ./internal/diffusion/ \
+		./internal/im/ ./internal/privim/ ./internal/serve/
 
 # Boot privimd on a throwaway port, probe /healthz and /metrics, shut down.
 serve-smoke:

@@ -13,11 +13,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 
 	"privim/internal/cliutil"
 	"privim/internal/dataset"
@@ -70,6 +73,23 @@ func main() {
 	if observer != nil {
 		fmt.Printf("trace: %s\n", stack.TraceID)
 	}
+
+	// SIGINT/SIGTERM cancel the run instead of killing it: training stops
+	// at its next preemption point, writes a final checkpoint (with
+	// -checkpoint-dir), commits the ε actually spent, and reports where to
+	// resume — so an interrupt discards nothing. A second signal exits
+	// immediately.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "privim: interrupt — stopping at the next preemption point (interrupt again to kill)")
+		cancelRun()
+		<-sigCh
+		os.Exit(130)
+	}()
 
 	g, err := loadGraph(*graphPath, *preset, *scale, *seed)
 	if err != nil {
@@ -150,8 +170,28 @@ func main() {
 		x := tensor.FromSlice(g.NumNodes(), dataset.NumStructuralFeatures, dataset.StructuralFeatures(g))
 		seeds = im.TopKScores(model.Score(g, x), *k)
 	} else {
-		res, err := privim.TrainContext(ctx, g, cfg)
+		res, err := privim.TrainContext(runCtx, g, cfg)
 		if err != nil {
+			var cerr *privim.CanceledError
+			if errors.As(err, &cerr) {
+				// Interrupted at an iteration boundary: settle the budget with
+				// the ε the completed iterations actually released (never the
+				// full-run figure) and point at the resume checkpoint.
+				if budgetLedger != nil {
+					acct, _ := cerr.Partial.Accountant()
+					budgetLedger.Commit(budgetRef, "local", budgetFP, ledger.Charge{
+						Acct: acct, Iterations: cerr.Iter, Epsilon: cerr.Partial.EpsilonSpent,
+					})
+				}
+				fmt.Fprintf(os.Stderr, "privim: canceled after %d/%d iterations (ε spent %.4f of %.4f)\n",
+					cerr.Iter, cerr.Partial.Config.Iterations, cerr.Partial.EpsilonSpent, *eps)
+				if cerr.CheckpointPath != "" {
+					fmt.Fprintf(os.Stderr, "privim: final checkpoint %s — rerun with the same flags to resume bit-for-bit\n",
+						cerr.CheckpointPath)
+				}
+				stack.Close()
+				os.Exit(130)
+			}
 			if budgetLedger != nil {
 				budgetLedger.Commit(budgetRef, "local", budgetFP,
 					ledger.Charge{Epsilon: math.Float64frombits(lastEps.Load())})
@@ -181,15 +221,30 @@ func main() {
 		seeds = res.SelectSeeds(g, *k)
 	}
 	model := &diffusion.IC{G: g, MaxSteps: *steps}
-	spread := diffusion.EstimateContext(ctx, model, seeds, 10, *seed, observer)
+	spread, err := diffusion.EstimateContext(runCtx, model, seeds, 10, *seed, observer)
+	if err != nil {
+		canceled(stack.Close, err)
+	}
 	fmt.Printf("selected %d seeds: %v\n", len(seeds), seeds)
 	fmt.Printf("influence spread (j=%d): %.2f of %d nodes\n", *steps, spread, g.NumNodes())
 
 	if *compare {
 		celf := &im.CELF{Model: model, Rounds: 10, Seed: *seed, NumNodes: g.NumNodes(), Obs: observer}
-		ref := diffusion.Estimate(model, celf.SelectContext(ctx, *k), 10, *seed)
+		celfSeeds, err := celf.SelectContext(runCtx, *k)
+		if err != nil {
+			canceled(stack.Close, err)
+		}
+		ref := diffusion.Estimate(model, celfSeeds, 10, *seed)
 		fmt.Printf("CELF reference spread: %.2f  coverage ratio: %.2f%%\n", ref, im.CoverageRatio(spread, ref))
 	}
+}
+
+// canceled reports an evaluation-phase cancellation and exits with the
+// conventional interrupted status.
+func canceled(close func(), err error) {
+	fmt.Fprintln(os.Stderr, "privim:", err)
+	close()
+	os.Exit(130)
 }
 
 func loadGraph(path, preset string, scale float64, seed int64) (*graph.Graph, error) {

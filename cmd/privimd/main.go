@@ -62,6 +62,7 @@ func main() {
 		trainQueue    = flag.Int("train-queue", 16, "max queued training jobs before 429")
 		cacheSize     = flag.Int("cache-size", 256, "LRU result-cache entry capacity")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
+		drainGrace    = flag.Duration("drain-grace", 0, "how long shutdown waits for running training jobs before preempting them (checkpoint + partial ε commit); 0 waits the full -drain-timeout")
 		workers       = cliutil.RegisterWorkers(flag.CommandLine)
 		obsFlags      cliutil.ObserverFlags
 		budgetFlags   cliutil.BudgetFlags
@@ -99,6 +100,7 @@ func main() {
 		TrainWorkers:    *trainWorkers,
 		TrainQueue:      *trainQueue,
 		CacheSize:       *cacheSize,
+		DrainGrace:      *drainGrace,
 		Budget:          budgetFlags.Budget,
 		BudgetDelta:     budgetFlags.Delta,
 		BudgetLedger:    budgetFlags.Path,
@@ -127,6 +129,12 @@ func main() {
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		// WriteTimeout backstops the per-route http.TimeoutHandler (with
+		// headroom over -timeout so the 503 body still goes out), and
+		// IdleTimeout reaps keep-alive connections a dead client left
+		// behind — without these a stuck peer pins a connection forever.
+		WriteTimeout: *queryTimeout + 10*time.Second,
+		IdleTimeout:  2 * time.Minute,
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,47 @@
+package diffusion
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"privim/internal/graph"
+)
+
+// A completed EstimateContext call is bit-identical to Estimate: the
+// context plumbing must not perturb the RNG streams or the reduction.
+func TestEstimateContextMatchesEstimate(t *testing.T) {
+	g := lineGraph(40, 0.4)
+	ic := &IC{G: g}
+	seeds := []graph.NodeID{0, 1, 2}
+	want := Estimate(ic, seeds, 50, 7)
+	got, err := EstimateContext(context.Background(), ic, seeds, 50, 7, nil)
+	if err != nil {
+		t.Fatalf("EstimateContext: %v", err)
+	}
+	if math.Float64bits(want) != math.Float64bits(got) {
+		t.Fatalf("EstimateContext = %v, Estimate = %v — must be bit-identical", got, want)
+	}
+}
+
+func TestEstimateContextCanceled(t *testing.T) {
+	g := lineGraph(40, 0.4)
+	ic := &IC{G: g}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EstimateContext(ctx, ic, []graph.NodeID{0, 1, 2}, 50, 7, nil)
+	var cerr *CanceledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CanceledError must unwrap to context.Canceled, got %v", err)
+	}
+	if cerr.Total != 50 {
+		t.Fatalf("Total = %d, want 50", cerr.Total)
+	}
+	if cerr.Done != 0 {
+		t.Fatalf("Done = %d rounds on a pre-canceled context, want 0", cerr.Done)
+	}
+}

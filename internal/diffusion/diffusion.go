@@ -17,6 +17,25 @@ import (
 	"privim/internal/parallel"
 )
 
+// CanceledError reports a Monte-Carlo estimate stopped early because its
+// context was canceled or its deadline expired. Done/Total record the
+// partial progress; Unwrap yields the context error, so
+// errors.Is(err, context.Canceled) works through it.
+type CanceledError struct {
+	// Done and Total are simulation rounds completed vs requested.
+	Done, Total int
+	// Err is the underlying context error.
+	Err error
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("diffusion: estimate canceled after %d/%d rounds: %v", e.Done, e.Total, e.Err)
+}
+
+// Unwrap returns the context error.
+func (e *CanceledError) Unwrap() error { return e.Err }
+
 // Model simulates one cascade from a seed set and reports the number of
 // activated nodes (including seeds).
 type Model interface {
@@ -293,7 +312,8 @@ func (m *SIS) Simulate(seeds []graph.NodeID, rng *rand.Rand) int {
 // derives its own rng from the round index and the per-round spreads are
 // integers (an order-independent sum).
 func Estimate(model Model, seeds []graph.NodeID, rounds int, seed int64) float64 {
-	return estimate(model, seeds, rounds, seed, 0, nil)
+	mean, _ := estimate(nil, model, seeds, rounds, seed, 0, nil)
+	return mean
 }
 
 // EstimateWorkers is Estimate with an explicit worker-pool width: 0 means
@@ -301,7 +321,8 @@ func Estimate(model Model, seeds []graph.NodeID, rounds int, seed int64) float64
 // Outer-parallel callers (the CELF/Greedy initial-gain pass) pass 1 so the
 // per-candidate estimates do not nest a second fan-out.
 func EstimateWorkers(model Model, seeds []graph.NodeID, rounds int, seed int64, workers int) float64 {
-	return estimate(model, seeds, rounds, seed, workers, nil)
+	mean, _ := estimate(nil, model, seeds, rounds, seed, workers, nil)
+	return mean
 }
 
 // EstimateObserved is Estimate with live telemetry: when o is non-nil it
@@ -309,7 +330,8 @@ func EstimateWorkers(model Model, seeds []graph.NodeID, rounds int, seed int64, 
 // cascade-size histogram. A nil observer adds one predictable branch per
 // round and no allocations — Estimate simply calls through.
 func EstimateObserved(model Model, seeds []graph.NodeID, rounds int, seed int64, o obs.Observer) float64 {
-	return estimate(model, seeds, rounds, seed, 0, o)
+	mean, _ := estimate(nil, model, seeds, rounds, seed, 0, o)
+	return mean
 }
 
 // EstimateContext is EstimateObserved under a caller context: the batch
@@ -317,13 +339,20 @@ func EstimateObserved(model Model, seeds []graph.NodeID, rounds int, seed int64,
 // span (or fresh on o), inheriting the context's trace ID. A nil o with
 // a span-carrying context still journals — the span's observer receives
 // the MCBatchDone event.
-func EstimateContext(ctx context.Context, model Model, seeds []graph.NodeID, rounds int, seed int64, o obs.Observer) float64 {
+//
+// Cancellation is checked at round-chunk boundaries: when ctx fires
+// mid-batch, EstimateContext stops within a few rounds and returns a
+// *CanceledError recording the partial round count (plus an
+// obs.Canceled event with the observed cancellation latency). A batch
+// that completes returns the same mean as EstimateObserved, bit for
+// bit, at any worker count.
+func EstimateContext(ctx context.Context, model Model, seeds []graph.NodeID, rounds int, seed int64, o obs.Observer) (float64, error) {
 	span := obs.StartSpanCtx(ctx, o, "diffusion.estimate")
 	defer span.End()
 	if o == nil {
 		o = span.Observer()
 	}
-	return estimate(model, seeds, rounds, seed, 0, o)
+	return estimate(ctx, model, seeds, rounds, seed, 0, o)
 }
 
 // estState is the reusable machinery behind estimate: per-worker totals,
@@ -337,6 +366,7 @@ type estState struct {
 	seed   int64
 	obsOn  bool
 	totals []int64
+	done   []int64 // rounds executed per worker (exact: chunks never stop mid-chunk)
 	rngs   []*rand.Rand
 	sizes  [][obs.NumBuckets]uint64
 	body   func(w, lo, hi int)
@@ -356,6 +386,7 @@ var estPool = sync.Pool{New: func() any {
 			}
 		}
 		st.totals[w] += local
+		st.done[w] += int64(hi - lo)
 	}
 	return st
 }}
@@ -367,6 +398,13 @@ func (st *estState) reset(workers int, obsOn bool) {
 	st.totals = st.totals[:workers]
 	for i := range st.totals {
 		st.totals[i] = 0
+	}
+	if cap(st.done) < workers {
+		st.done = make([]int64, workers)
+	}
+	st.done = st.done[:workers]
+	for i := range st.done {
+		st.done[i] = 0
 	}
 	for len(st.rngs) < workers {
 		st.rngs = append(st.rngs, rand.New(rand.NewSource(1)))
@@ -384,7 +422,7 @@ func (st *estState) reset(workers int, obsOn bool) {
 	}
 }
 
-func estimate(model Model, seeds []graph.NodeID, rounds int, seed int64, workers int, o obs.Observer) float64 {
+func estimate(ctx context.Context, model Model, seeds []graph.NodeID, rounds int, seed int64, workers int, o obs.Observer) (float64, error) {
 	if rounds < 1 {
 		panic(fmt.Sprintf("diffusion: Estimate rounds = %d", rounds))
 	}
@@ -396,7 +434,29 @@ func estimate(model Model, seeds []graph.NodeID, rounds int, seed int64, workers
 	st := estPool.Get().(*estState)
 	st.model, st.seeds, st.seed = model, seeds, seed
 	st.reset(workers, o != nil)
-	parallel.For(workers, rounds, 8, st.body)
+	if ctx != nil {
+		clk := obs.WatchCancel(ctx)
+		_, err := parallel.ForCtx(ctx, workers, rounds, 8, st.body)
+		clk.Stop()
+		if err != nil {
+			var done int64
+			for _, d := range st.done {
+				done += d
+			}
+			obs.Emit(o, obs.Canceled{
+				Phase:   "estimate",
+				Done:    int(done),
+				Total:   rounds,
+				Reason:  err.Error(),
+				Latency: clk.Latency(),
+			})
+			st.model, st.seeds = nil, nil
+			estPool.Put(st)
+			return 0, &CanceledError{Done: int(done), Total: rounds, Err: err}
+		}
+	} else {
+		parallel.For(workers, rounds, 8, st.body)
+	}
 	var sum int64
 	for _, v := range st.totals {
 		sum += v
@@ -421,7 +481,7 @@ func estimate(model Model, seeds []graph.NodeID, rounds int, seed int64, workers
 	}
 	st.model, st.seeds = nil, nil // don't pin caller data in the pool
 	estPool.Put(st)
-	return mean
+	return mean, nil
 }
 
 // EstimateMany evaluates the spread of several seed sets, reusing the

@@ -6,6 +6,7 @@
 package gnn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -238,6 +239,14 @@ func (m *Model) Forward(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.Grap
 // ForwardPrep is Forward with the graph-derived structures supplied by a
 // cached Prep (from NewPrep on the same model kind and graph).
 func (m *Model) ForwardPrep(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.Graph, x *tensor.Matrix, p *Prep) *autodiff.Node {
+	out, _ := m.forwardPrep(nil, tp, bound, g, x, p)
+	return out
+}
+
+// forwardPrep is the ForwardPrep core with an optional context: a
+// non-nil ctx is checked before every layer, so a canceled inference
+// stops within one layer's SpMM/GEMM work. A nil ctx never errors.
+func (m *Model) forwardPrep(ctx context.Context, tp *autodiff.Tape, bound []*autodiff.Node, g *graph.Graph, x *tensor.Matrix, p *Prep) (*autodiff.Node, error) {
 	if x.Rows != g.NumNodes() || x.Cols != m.Cfg.InputDim {
 		panic(fmt.Sprintf("gnn: Forward features %dx%d for graph with %d nodes, input dim %d",
 			x.Rows, x.Cols, g.NumNodes(), m.Cfg.InputDim))
@@ -250,6 +259,11 @@ func (m *Model) ForwardPrep(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.
 	switch m.Cfg.Kind {
 	case GCN:
 		for l := 0; l < m.Cfg.Layers; l++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			agg := autodiff.SpMM(p.adj, h)
 			z := autodiff.MatMul(agg, bound[m.layers[l].w])
 			z = autodiff.AddRowBroadcast(z, bound[m.layers[l].b])
@@ -257,6 +271,11 @@ func (m *Model) ForwardPrep(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.
 		}
 	case GraphSAGE:
 		for l := 0; l < m.Cfg.Layers; l++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			neigh := autodiff.SpMM(p.adj, h)
 			cat := autodiff.ConcatCols(h, neigh)
 			z := autodiff.MatMul(cat, bound[m.layers[l].w])
@@ -274,6 +293,11 @@ func (m *Model) ForwardPrep(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.
 		}
 		n := g.NumNodes()
 		for l := 0; l < m.Cfg.Layers; l++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			wh := autodiff.MatMul(h, bound[m.layers[l].w])
 			hd := autodiff.GatherRows(wh, dst)
 			hs := autodiff.GatherRows(wh, src)
@@ -301,6 +325,11 @@ func (m *Model) ForwardPrep(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.
 		}
 	case GIN:
 		for l := 0; l < m.Cfg.Layers; l++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			neigh := autodiff.SpMM(p.adj, h)
 			// (1+ε)·h + Σ_neighbors h, with learnable scalar ε broadcast.
 			epsNode := bound[m.layers[l].eps]
@@ -314,10 +343,15 @@ func (m *Model) ForwardPrep(tp *autodiff.Tape, bound []*autodiff.Node, g *graph.
 			h = autodiff.ReLU(z)
 		}
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	skip := autodiff.ConcatCols(h, tp.Leaf(x))
 	logits := autodiff.MatMul(skip, bound[m.readoutW])
 	logits = autodiff.AddRowBroadcast(logits, bound[m.readoutB])
-	return autodiff.Sigmoid(logits)
+	return autodiff.Sigmoid(logits), nil
 }
 
 // Score runs a forward pass outside any training loop and returns the
@@ -329,4 +363,20 @@ func (m *Model) Score(g *graph.Graph, x *tensor.Matrix) []float64 {
 	scores := make([]float64, g.NumNodes())
 	copy(scores, out.Value.Data)
 	return scores
+}
+
+// ScoreContext is Score under a caller context: the forward pass checks
+// ctx between layers, so a canceled or deadline-expired query stops
+// within one layer's SpMM/GEMM work instead of running the full model.
+// A completed call returns exactly Score's output.
+func (m *Model) ScoreContext(ctx context.Context, g *graph.Graph, x *tensor.Matrix) ([]float64, error) {
+	tp := autodiff.NewTape()
+	bound := nn.Bind(tp, m.Params)
+	out, err := m.forwardPrep(ctx, tp, bound, g, x, m.NewPrep(g))
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, g.NumNodes())
+	copy(scores, out.Value.Data)
+	return scores, nil
 }

@@ -23,7 +23,7 @@ func TestRRSetGenerationSteadyStateZeroAlloc(t *testing.T) {
 	var locs []rrLoc
 	run := func() {
 		arena.reset()
-		locs, _ = generateRRSets(g, arena, 400, 0, 0, 11, 1, scratch, locs, nil, "im.test.rrsets")
+		locs, _, _ = generateRRSets(nil, g, arena, 400, 0, 0, 11, 1, scratch, locs, nil, "im.test.rrsets")
 	}
 	run() // warm: grows arena, scratch, and locs to capacity
 	run()

@@ -28,6 +28,44 @@ type Solver interface {
 	Name() string
 }
 
+// CanceledError reports a seed selection stopped early because its
+// context was canceled or its deadline expired. Seeds holds the seeds
+// picked before the stop — a valid greedy prefix for CELF/Greedy (every
+// pick was made against the full candidate pool), nil when the solver
+// was still generating RR sets or initial gains. Unwrap yields the
+// context error, so errors.Is(err, context.Canceled) works through it.
+type CanceledError struct {
+	// Solver is the solver name ("celf", "greedy", "ris", "imm").
+	Solver string
+	// Seeds is the partial greedy prefix selected before the stop.
+	Seeds []graph.NodeID
+	// K is the requested seed-set size.
+	K int
+	// Err is the underlying context error.
+	Err error
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("im: %s select canceled after %d/%d seeds: %v", e.Solver, len(e.Seeds), e.K, e.Err)
+}
+
+// Unwrap returns the context error.
+func (e *CanceledError) Unwrap() error { return e.Err }
+
+// cancelSelect emits the obs.Canceled event for a stopped selection and
+// wraps the partial progress in a *CanceledError.
+func cancelSelect(o obs.Observer, clk *obs.CancelClock, solver, phase string, seeds []graph.NodeID, k int, err error) error {
+	obs.Emit(o, obs.Canceled{
+		Phase:   phase,
+		Done:    len(seeds),
+		Total:   k,
+		Reason:  err.Error(),
+		Latency: clk.Latency(),
+	})
+	return &CanceledError{Solver: solver, Seeds: seeds, K: k, Err: err}
+}
+
 // celfEntry is one lazy-greedy priority-queue element.
 type celfEntry struct {
 	node graph.NodeID
@@ -85,15 +123,31 @@ func (c *CELF) Name() string { return "celf" }
 
 // Select implements Solver.
 func (c *CELF) Select(k int) []graph.NodeID {
-	return c.SelectContext(context.Background(), k)
+	seeds, _ := c.SelectContext(context.Background(), k)
+	return seeds
 }
 
 // SelectContext is Select under a caller context: the solver's span tree
 // roots under the context's span (or a fresh root on Obs) and inherits
 // the context's trace ID, so solver time shows up in request traces.
-func (c *CELF) SelectContext(ctx context.Context, k int) []graph.NodeID {
+//
+// Cancellation is checked before every initial-gain chunk and every lazy
+// pick, so a fired context stops the solver within one spread estimate.
+// It returns a *CanceledError whose Seeds field is the valid greedy
+// prefix picked so far; a selection that completes is bit-identical to
+// the pre-context solver at any worker count.
+func (c *CELF) SelectContext(ctx context.Context, k int) ([]graph.NodeID, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	span := obs.StartSpanCtx(ctx, c.Obs, "im.celf.select")
 	defer span.End()
+	o := c.Obs
+	if o == nil {
+		o = span.Observer()
+	}
+	clk := obs.WatchCancel(ctx)
+	defer clk.Stop()
 	cands := c.Candidates
 	if cands == nil {
 		cands = make([]graph.NodeID, c.NumNodes)
@@ -105,7 +159,7 @@ func (c *CELF) SelectContext(ctx context.Context, k int) []graph.NodeID {
 		k = len(cands)
 	}
 	if k <= 0 {
-		return nil
+		return nil, nil
 	}
 	rounds := c.Rounds
 	if rounds < 1 {
@@ -124,11 +178,13 @@ func (c *CELF) SelectContext(ctx context.Context, k int) []graph.NodeID {
 	// nesting. Estimates are per-round-seeded, so gains are identical to
 	// the serial pass.
 	gains := make([]float64, len(cands))
-	parallel.ForObserved(span, "im.celf.initial", workers, len(cands), 4, func(_, lo, hi int) {
+	if _, err := parallel.ForObservedCtx(ctx, span, "im.celf.initial", workers, len(cands), 4, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			gains[i] = diffusion.EstimateWorkers(c.Model, cands[i:i+1], rounds, c.Seed, 1)
 		}
-	})
+	}); err != nil {
+		return nil, cancelSelect(o, clk, "celf", "select", nil, k, err)
+	}
 	c.Evaluations += len(cands)
 	q := make(celfQueue, 0, len(cands))
 	for i, v := range cands {
@@ -140,6 +196,9 @@ func (c *CELF) SelectContext(ctx context.Context, k int) []graph.NodeID {
 	evalBuf := make([]graph.NodeID, 0, k+1) // reused across stale re-evaluations
 	base := 0.0
 	for len(seeds) < k && q.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, cancelSelect(o, clk, "celf", "select", seeds, k, err)
+		}
 		top := heap.Pop(&q).(*celfEntry)
 		if top.round == len(seeds) {
 			// Gain is exact for the current seed set: take it.
@@ -168,7 +227,7 @@ func (c *CELF) SelectContext(ctx context.Context, k int) []graph.NodeID {
 		top.round = len(seeds)
 		heap.Push(&q, top)
 	}
-	return seeds
+	return seeds, nil
 }
 
 // Greedy is the plain (non-lazy) greedy solver; kept as the correctness
@@ -195,13 +254,25 @@ func (g *Greedy) Name() string { return "greedy" }
 
 // Select implements Solver.
 func (g *Greedy) Select(k int) []graph.NodeID {
-	return g.SelectContext(context.Background(), k)
+	seeds, _ := g.SelectContext(context.Background(), k)
+	return seeds
 }
 
 // SelectContext is Select under a caller context (see CELF.SelectContext).
-func (g *Greedy) SelectContext(ctx context.Context, k int) []graph.NodeID {
+// Cancellation is checked at every gain-pass chunk and every pick; the
+// *CanceledError carries the greedy prefix picked before the stop.
+func (g *Greedy) SelectContext(ctx context.Context, k int) ([]graph.NodeID, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	span := obs.StartSpanCtx(ctx, g.Obs, "im.greedy.select")
 	defer span.End()
+	o := g.Obs
+	if o == nil {
+		o = span.Observer()
+	}
+	clk := obs.WatchCancel(ctx)
+	defer clk.Stop()
 	if k > g.NumNodes {
 		k = g.NumNodes
 	}
@@ -235,7 +306,9 @@ func (g *Greedy) SelectContext(ctx context.Context, k int) []graph.NodeID {
 	}
 	base := 0.0
 	for len(seeds) < k {
-		parallel.ForObserved(span, "im.greedy.gains", workers, g.NumNodes, 4, gainPass)
+		if _, err := parallel.ForObservedCtx(ctx, span, "im.greedy.gains", workers, g.NumNodes, 4, gainPass); err != nil {
+			return nil, cancelSelect(o, clk, "greedy", "select", seeds, k, err)
+		}
 		g.Evaluations += g.NumNodes - len(seeds)
 		// Serial argmax: first strict improvement wins, preserving the
 		// lowest-node-ID tie-break of the serial loop.
@@ -259,7 +332,7 @@ func (g *Greedy) SelectContext(ctx context.Context, k int) []graph.NodeID {
 		}
 		base = bestGain
 	}
-	return seeds
+	return seeds, nil
 }
 
 // Degree selects the k highest out-degree nodes — the classic cheap
@@ -375,13 +448,26 @@ func (r *RIS) Name() string { return "ris" }
 
 // Select implements Solver.
 func (r *RIS) Select(k int) []graph.NodeID {
-	return r.SelectContext(context.Background(), k)
+	seeds, _ := r.SelectContext(context.Background(), k)
+	return seeds
 }
 
 // SelectContext is Select under a caller context (see CELF.SelectContext).
-func (r *RIS) SelectContext(ctx context.Context, k int) []graph.NodeID {
+// Cancellation is checked at every RR-generation chunk and every
+// max-coverage pick; RR sets generated before the stop are discarded
+// (the *CanceledError's Seeds is nil unless the pick loop had started).
+func (r *RIS) SelectContext(ctx context.Context, k int) ([]graph.NodeID, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	span := obs.StartSpanCtx(ctx, r.Obs, "im.ris.select")
 	defer span.End()
+	o := r.Obs
+	if o == nil {
+		o = span.Observer()
+	}
+	clk := obs.WatchCancel(ctx)
+	defer clk.Stop()
 	n := r.G.NumNodes()
 	if k > n {
 		k = n
@@ -399,7 +485,18 @@ func (r *RIS) SelectContext(ctx context.Context, k int) []graph.NodeID {
 	}
 	st := r.sel
 	st.arena.reset()
-	st.locs, _ = generateRRSets(r.G, &st.arena, samples, 0, r.MaxDepth, r.Seed, r.Workers, st.scratch, st.locs, span, "im.ris.rrsets")
+	var genErr error
+	st.locs, _, genErr = generateRRSets(ctx, r.G, &st.arena, samples, 0, r.MaxDepth, r.Seed, r.Workers, st.scratch, st.locs, span, "im.ris.rrsets")
+	if genErr != nil {
+		obs.Emit(o, obs.Canceled{
+			Phase:   "rrgen",
+			Done:    st.arena.numSets(),
+			Total:   samples,
+			Reason:  genErr.Error(),
+			Latency: clk.Latency(),
+		})
+		return nil, &CanceledError{Solver: "ris", K: k, Err: genErr}
+	}
 	st.cover.build(&st.arena, n)
 	// Greedy max coverage over the RR sets.
 	if cap(st.covered) < samples {
@@ -418,6 +515,9 @@ func (r *RIS) SelectContext(ctx context.Context, k int) []graph.NodeID {
 	}
 	seeds := make([]graph.NodeID, 0, k)
 	for len(seeds) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, cancelSelect(o, clk, "ris", "select", seeds, k, err)
+		}
 		best, bestVal := -1, -1
 		for v := 0; v < n; v++ {
 			if count[v] > bestVal {
@@ -455,7 +555,7 @@ func (r *RIS) SelectContext(ctx context.Context, k int) []graph.NodeID {
 		}
 		count[best] = -1 // never re-pick
 	}
-	return seeds
+	return seeds, nil
 }
 
 // rrArena stores RR sets back-to-back in one flat backing slice: set i is
@@ -605,7 +705,11 @@ var rrGenPool = sync.Pool{New: func() any {
 // at any worker count. Returns the (possibly regrown) locs buffer and
 // the pool stats; a non-nil parent span gets a child span and a
 // ParallelFor event under the given site name.
-func generateRRSets(g *graph.Graph, arena *rrArena, count, base, maxDepth int, seed int64, workers int, scratch *parallel.Scratch[*rrScratch], locs []rrLoc, parent *obs.Span, site string) ([]rrLoc, parallel.Stats) {
+//
+// A non-nil ctx is checked at every draw-chunk boundary; on
+// cancellation the partial draws are discarded (worker arenas cleared,
+// nothing compacted into arena) and the context error is returned.
+func generateRRSets(ctx context.Context, g *graph.Graph, arena *rrArena, count, base, maxDepth int, seed int64, workers int, scratch *parallel.Scratch[*rrScratch], locs []rrLoc, parent *obs.Span, site string) ([]rrLoc, parallel.Stats, error) {
 	n := g.NumNodes()
 	workers = parallel.Resolve(workers)
 	if workers > count {
@@ -622,15 +726,21 @@ func generateRRSets(g *graph.Graph, arena *rrArena, count, base, maxDepth int, s
 	gs := rrGenPool.Get().(*rrGenState)
 	gs.g, gs.n, gs.base, gs.maxDepth, gs.seed = g, n, base, maxDepth, seed
 	gs.scratch, gs.locs = scratch, locs
-	st := parallel.ForObserved(parent, site, workers, count, 16, gs.body)
+	st, err := parallel.ForObservedCtx(ctx, parent, site, workers, count, 16, gs.body)
 	gs.g, gs.scratch, gs.locs = nil, nil, nil // don't pin caller data in the pool
 	rrGenPool.Put(gs)
+	if err != nil {
+		// Partial draws are unusable (locs has holes); drop them so the
+		// scratches are clean for the next call.
+		scratch.Each(func(_ int, sc *rrScratch) { sc.arena = sc.arena[:0] })
+		return locs, st, err
+	}
 	for i := range locs {
 		sc := scratch.Get(int(locs[i].worker))
 		arena.appendSet(sc.arena[locs[i].start:locs[i].end])
 	}
 	scratch.Each(func(_ int, sc *rrScratch) { sc.arena = sc.arena[:0] })
-	return locs, st
+	return locs, st, nil
 }
 
 // reverseReachable samples one reverse-reachable set from target: a BFS

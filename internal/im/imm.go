@@ -62,10 +62,15 @@ func newRRIndex(n int) *rrIndex {
 	}
 }
 
-func (ix *rrIndex) generate(g *graph.Graph, count, maxDepth int, seed int64, workers int, parent *obs.Span) {
+func (ix *rrIndex) generate(ctx context.Context, g *graph.Graph, count, maxDepth int, seed int64, workers int, parent *obs.Span) error {
 	base := ix.arena.numSets()
-	ix.locs, _ = generateRRSets(g, &ix.arena, count, base, maxDepth, seed, workers, ix.scratch, ix.locs, parent, "im.imm.rrsets")
+	var err error
+	ix.locs, _, err = generateRRSets(ctx, g, &ix.arena, count, base, maxDepth, seed, workers, ix.scratch, ix.locs, parent, "im.imm.rrsets")
+	if err != nil {
+		return err
+	}
 	ix.cover.build(&ix.arena, ix.n)
+	return nil
 }
 
 // maxCover greedily picks k nodes covering the most RR sets and returns
@@ -127,16 +132,28 @@ func (ix *rrIndex) maxCover(n, k int) ([]graph.NodeID, float64) {
 
 // Select implements Solver following IMM's two phases.
 func (s *IMM) Select(k int) []graph.NodeID {
-	return s.SelectContext(context.Background(), k)
+	seeds, _ := s.SelectContext(context.Background(), k)
+	return seeds
 }
 
 // SelectContext is Select under a caller context (see CELF.SelectContext).
-func (s *IMM) SelectContext(ctx context.Context, k int) []graph.NodeID {
+// Cancellation is checked at every RR-generation chunk and between the
+// geometric-search iterations of the sampling phase.
+func (s *IMM) SelectContext(ctx context.Context, k int) ([]graph.NodeID, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	span := obs.StartSpanCtx(ctx, s.Obs, "im.imm.select")
 	defer span.End()
+	o := s.Obs
+	if o == nil {
+		o = span.Observer()
+	}
+	clk := obs.WatchCancel(ctx)
+	defer clk.Stop()
 	n := s.G.NumNodes()
 	if n == 0 || k <= 0 {
-		return nil
+		return nil, nil
 	}
 	if k > n {
 		k = n
@@ -167,13 +184,18 @@ func (s *IMM) SelectContext(ctx context.Context, k int) []graph.NodeID {
 		maxI = 1
 	}
 	for i := 1; i < maxI; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, cancelSelect(o, clk, "imm", "select", nil, k, err)
+		}
 		x := fn / math.Pow(2, float64(i))
 		thetaI := int(lambdaPrime / x)
 		if thetaI > maxSamples {
 			thetaI = maxSamples
 		}
 		if need := thetaI - ix.arena.numSets(); need > 0 {
-			ix.generate(s.G, need, s.MaxDepth, s.Seed, s.Workers, span)
+			if err := ix.generate(ctx, s.G, need, s.MaxDepth, s.Seed, s.Workers, span); err != nil {
+				return nil, cancelSelect(o, clk, "imm", "rrgen", nil, k, err)
+			}
 		}
 		_, frac := ix.maxCover(n, k)
 		if fn*frac >= (1+epsPrime)*x {
@@ -194,10 +216,12 @@ func (s *IMM) SelectContext(ctx context.Context, k int) []graph.NodeID {
 		theta = maxSamples
 	}
 	if need := theta - ix.arena.numSets(); need > 0 {
-		ix.generate(s.G, need, s.MaxDepth, s.Seed, s.Workers, span)
+		if err := ix.generate(ctx, s.G, need, s.MaxDepth, s.Seed, s.Workers, span); err != nil {
+			return nil, cancelSelect(o, clk, "imm", "rrgen", nil, k, err)
+		}
 	}
 	seeds, _ := ix.maxCover(n, k)
-	return seeds
+	return seeds, nil
 }
 
 // logChooseF returns log C(n, k) via log-gamma (float inputs for the IMM

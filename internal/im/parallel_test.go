@@ -74,12 +74,12 @@ func TestGenerateRRSetsStreamStable(t *testing.T) {
 		return parallel.NewScratch(func() *rrScratch { return newRRScratch(g.NumNodes()) })
 	}
 	var whole rrArena
-	generateRRSets(g, &whole, 100, 0, 0, 42, 3, newScratch(), nil, nil, "")
+	generateRRSets(nil, g, &whole, 100, 0, 0, 42, 3, newScratch(), nil, nil, "")
 	// Two stacked batches at different widths into one arena.
 	var stacked rrArena
 	sc := newScratch()
-	locs, _ := generateRRSets(g, &stacked, 60, 0, 0, 42, 2, sc, nil, nil, "")
-	generateRRSets(g, &stacked, 40, 60, 0, 42, 5, sc, locs, nil, "")
+	locs, _, _ := generateRRSets(nil, g, &stacked, 60, 0, 0, 42, 2, sc, nil, nil, "")
+	generateRRSets(nil, g, &stacked, 40, 60, 0, 42, 5, sc, locs, nil, "")
 	if whole.numSets() != stacked.numSets() {
 		t.Fatalf("%d vs %d sets", whole.numSets(), stacked.numSets())
 	}

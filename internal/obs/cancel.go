@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// CancelClock timestamps the instant a context fires, so a kernel that
+// later notices ctx.Err() at a chunk/iteration boundary can report the
+// true cancellation latency (fire → kernel return) in its Canceled
+// event, not just "canceled". WatchCancel installs a context.AfterFunc;
+// Stop must be called (usually deferred) to release it when the kernel
+// returns without being canceled.
+//
+// A nil *CancelClock is valid and reports zero latency — WatchCancel
+// returns nil for contexts that can never fire (ctx == nil, or
+// Done() == nil like context.Background), keeping the uncancelable hot
+// path allocation-free.
+type CancelClock struct {
+	at   atomic.Int64 // UnixNano of the context firing, 0 = not fired
+	stop func() bool
+}
+
+// WatchCancel arms a CancelClock against ctx, or returns nil when ctx
+// cannot fire.
+func WatchCancel(ctx context.Context) *CancelClock {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	c := &CancelClock{}
+	c.stop = context.AfterFunc(ctx, func() {
+		c.at.Store(time.Now().UnixNano())
+	})
+	return c
+}
+
+// Latency returns now − fire-time, or 0 when the context has not fired
+// (or the clock is nil).
+func (c *CancelClock) Latency() time.Duration {
+	if c == nil {
+		return 0
+	}
+	ns := c.at.Load()
+	if ns == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - ns)
+}
+
+// Stop releases the AfterFunc registration. Safe on a nil clock and
+// idempotent.
+func (c *CancelClock) Stop() {
+	if c != nil && c.stop != nil {
+		c.stop()
+	}
+}

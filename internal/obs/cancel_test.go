@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestWatchCancelNilForUncancelable(t *testing.T) {
+	if c := WatchCancel(nil); c != nil {
+		t.Fatal("WatchCancel(nil) must return nil")
+	}
+	if c := WatchCancel(context.Background()); c != nil {
+		t.Fatal("WatchCancel(Background) must return nil — Done() is nil")
+	}
+	var nilClock *CancelClock
+	if got := nilClock.Latency(); got != 0 {
+		t.Fatalf("nil clock Latency = %v, want 0", got)
+	}
+	nilClock.Stop() // must not panic
+}
+
+func TestWatchCancelMeasuresLatency(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	clk := WatchCancel(ctx)
+	if clk == nil {
+		t.Fatal("cancelable context must get a clock")
+	}
+	defer clk.Stop()
+	if got := clk.Latency(); got != 0 {
+		t.Fatalf("Latency before firing = %v, want 0", got)
+	}
+	cancel()
+	// AfterFunc runs async; wait for the timestamp to land.
+	deadline := time.Now().Add(time.Second)
+	for clk.Latency() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("clock never observed the cancel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if lat := clk.Latency(); lat <= 0 || lat > time.Second {
+		t.Fatalf("Latency = %v, want a small positive duration", lat)
+	}
+}
+
+func TestCanceledEventAggregates(t *testing.T) {
+	r := NewRegistry()
+	r.Emit(Canceled{Phase: "train", Done: 3, Total: 10, Reason: "context canceled", Latency: 5 * time.Millisecond})
+	r.Emit(Canceled{Phase: "train", Done: 1, Total: 10, Reason: "context canceled"})
+	snap := r.Snapshot()
+	if got := fmt.Sprint(snap["cancel.train"]); got != "2" {
+		t.Fatalf("cancel.train = %v, want 2", got)
+	}
+	if _, ok := snap["cancel.train.latency_us"]; !ok {
+		t.Fatalf("missing cancel latency histogram; snapshot: %v", snap)
+	}
+}

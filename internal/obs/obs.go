@@ -307,3 +307,28 @@ type CheckpointRejected struct {
 
 // EventKind implements Event.
 func (CheckpointRejected) EventKind() string { return "checkpoint_rejected" }
+
+// Canceled reports one compute phase stopping early on a canceled or
+// deadline-expired context: DP-SGD training, a Monte-Carlo estimate,
+// RR-set generation, or a greedy/CELF seed-selection pass. Done/Total
+// record the partial progress at the stop point (iterations, rounds, RR
+// sets, or seeds, by phase); Latency is the time from the context firing
+// to the kernel actually returning — the cancellation latency the serve
+// layer's 2 s stop budget is built from.
+type Canceled struct {
+	// Phase is the compute phase that stopped: "train", "estimate",
+	// "rrgen", "select", or "query".
+	Phase string `json:"phase"`
+	// Done and Total count the phase's work units at the stop point.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Reason is the context error ("context canceled",
+	// "context deadline exceeded").
+	Reason string `json:"reason"`
+	// Latency is ctx-fired → kernel-returned, when the kernel can
+	// observe it (0 otherwise).
+	Latency time.Duration `json:"latency_ns"`
+}
+
+// EventKind implements Event.
+func (Canceled) EventKind() string { return "canceled" }

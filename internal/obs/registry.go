@@ -119,6 +119,11 @@ func (r *Registry) Emit(e Event) {
 		// labels), so operators can alert on a tenant nearing exhaustion.
 		r.Gauge(Labeled("ledger.epsilon_committed", "tenant", ev.Tenant)).Set(ev.Committed)
 		r.Gauge(Labeled("ledger.epsilon_reserved", "tenant", ev.Tenant)).Set(ev.Reserved)
+	case Canceled:
+		r.Counter("cancel." + ev.Phase).Inc()
+		if ev.Latency > 0 {
+			r.Histogram("cancel." + ev.Phase + ".latency_us").Observe(float64(ev.Latency) / float64(time.Microsecond))
+		}
 	case ExtractionDone:
 		r.Counter("sampling.extractions").Inc()
 		r.Counter("sampling.subgraphs").Add(int64(ev.Subgraphs))

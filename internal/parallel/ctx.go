@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// ForCtx is For under a caller-supplied context: cancellation is checked
+// at every chunk boundary — before each dynamic chunk claim on the
+// parallel path, before each chunk on the inline serial path — so a
+// canceled context stops the fan-out within one grain of work per
+// worker. A nil ctx degrades to plain For.
+//
+// Determinism contract: a ForCtx call that returns a nil error executed
+// exactly the chunk set For would have, over the same index ranges, so
+// completed calls are bit-for-bit identical to For at any worker count
+// (call sites write only disjoint [lo, hi) ranges). When the context is
+// canceled mid-flight, ForCtx returns ctx.Err() and the output arrays
+// hold an unspecified mix of written and unwritten ranges — callers must
+// treat partial output as garbage, never publish it.
+//
+// Stats always reflects the chunks actually executed, so cancellation
+// latency is observable: a canceled call reports Chunks < the full chunk
+// count.
+func ForCtx(ctx context.Context, workers, n, grain int, fn func(worker, lo, hi int)) (Stats, error) {
+	if ctx == nil {
+		return For(workers, n, grain, fn), nil
+	}
+	if n <= 0 {
+		return Stats{}, ctx.Err()
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if grain < 1 {
+		grain = (n + workers - 1) / workers
+	}
+	chunks := (n + grain - 1) / grain
+	totalCalls.Add(1)
+	if workers <= 1 || chunks == 1 {
+		// Serial inline path: unlike For (one fn(0, 0, n) call), iterate
+		// chunk-by-chunk so a single-threaded caller still observes
+		// cancellation at grain granularity. Identical output when it
+		// completes — fn writes disjoint ranges either way.
+		done := 0
+		for c := 0; c < chunks; c++ {
+			if err := ctx.Err(); err != nil {
+				totalChunks.Add(int64(done))
+				return Stats{Workers: 1, Chunks: done, MaxChunks: done, MinChunks: done}, err
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(0, lo, hi)
+			done++
+		}
+		totalChunks.Add(int64(done))
+		return Stats{Workers: 1, Chunks: done, MaxChunks: done, MinChunks: done}, nil
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	totalParallel.Add(1)
+	sz := grain
+	var cursor atomic.Int64
+	ran := make([]int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * sz
+				hi := lo + sz
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+				ran[w]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := Stats{Workers: workers, MinChunks: ran[0]}
+	for _, r := range ran {
+		st.Chunks += r
+		if r > st.MaxChunks {
+			st.MaxChunks = r
+		}
+		if r < st.MinChunks {
+			st.MinChunks = r
+		}
+	}
+	totalChunks.Add(int64(st.Chunks))
+	if st.Chunks < chunks {
+		// The only way to leave chunks unclaimed is a context error; by
+		// the time every worker has exited, ctx.Err() is non-nil.
+		return st, ctx.Err()
+	}
+	// Every chunk ran: the output is complete and valid even if the
+	// context was canceled an instant after the last chunk finished.
+	return st, nil
+}

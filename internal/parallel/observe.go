@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"time"
 
 	"privim/internal/obs"
@@ -30,4 +31,28 @@ func ForObserved(parent *obs.Span, site string, workers, n, grain int, fn func(w
 		Elapsed:   time.Since(start),
 	})
 	return st
+}
+
+// ForObservedCtx is ForObserved over ForCtx: the same span + ParallelFor
+// event bookkeeping, with cancellation checked at chunk boundaries. The
+// ParallelFor event is emitted even on a canceled call (its Chunks count
+// then reflects the partial execution), so traces show where a canceled
+// request actually stopped.
+func ForObservedCtx(ctx context.Context, parent *obs.Span, site string, workers, n, grain int, fn func(worker, lo, hi int)) (Stats, error) {
+	if parent == nil {
+		return ForCtx(ctx, workers, n, grain, fn)
+	}
+	sp := parent.Child("parallel." + site)
+	start := time.Now()
+	st, err := ForCtx(ctx, workers, n, grain, fn)
+	sp.End()
+	obs.Emit(parent.Observer(), obs.ParallelFor{
+		Site:      site,
+		Workers:   st.Workers,
+		Tasks:     n,
+		Chunks:    st.Chunks,
+		Imbalance: st.Imbalance(),
+		Elapsed:   time.Since(start),
+	})
+	return st, err
 }

@@ -83,10 +83,21 @@ func Train(g *graph.Graph, cfg Config) (*Result, error) {
 // TrainContext is Train under a caller context: the run's span tree
 // roots under the context's span (the serving layer's per-job span) and
 // inherits the context's trace ID, so every event the run emits is
-// attributable to the request that caused it. The context carries
-// observability identity only — training has no preemption points, so
-// cancellation is not consulted.
+// attributable to the request that caused it.
+//
+// Cancellation is honored at two preemption points — the top of every
+// DP-SGD iteration and the chunk boundaries of the per-sample gradient
+// pass — and never after an iteration's noisy update has been applied,
+// so a canceled run always stops on a completed-iteration boundary.
+// On cancel TrainContext returns a *CanceledError carrying the partial
+// Result (model, histories, and the ε actually spent), after writing a
+// final checkpoint when a checkpoint directory is configured. Runs that
+// complete without cancellation are bit-for-bit identical to runs under
+// an uncancelable context at any worker count.
 func TrainContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg, err := cfg.normalize(g.NumNodes())
 	if err != nil {
 		return nil, err
@@ -289,14 +300,71 @@ func TrainContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 		}
 	}
 
+	// Cancellation plumbing. The clock is nil (free) for uncancelable
+	// contexts; canceled settles the partial result — true ε spent, final
+	// checkpoint, spans closed — and builds the CanceledError. draws must
+	// be the RNG position at the stop point's iteration boundary: when the
+	// gradient pass is interrupted the batch picks were already drawn, so
+	// the caller passes the position captured before them.
+	cancelable := ctx.Done() != nil
+	clk := obs.WatchCancel(ctx)
+	defer clk.Stop()
+	canceled := func(iter int, draws uint64, cause error) error {
+		if cfg.privatized() {
+			if iter > 0 {
+				res.EpsilonSpent = accountant.Epsilon(iter, cfg.Delta)
+			} else {
+				res.EpsilonSpent = 0
+			}
+		}
+		cerr := &CanceledError{Partial: res, Iter: iter, Err: cause}
+		if ck != nil && iter > 0 {
+			cs := m3.Child("checkpoint.save")
+			if err := ck.save(iter, draws, model.Params, opt, res); err == nil {
+				cerr.CheckpointPath = checkpointPath(ck.dir, iter)
+			}
+			cs.End()
+		}
+		if ran := iter - startIter; ran > 0 {
+			res.PerEpoch = time.Since(trainStart) / time.Duration(ran)
+		}
+		obs.Emit(o, obs.Canceled{
+			Phase:   "train",
+			Done:    iter,
+			Total:   cfg.Iterations,
+			Reason:  cause.Error(),
+			Latency: clk.Latency(),
+		})
+		m3.End()
+		root.End()
+		return cerr
+	}
+
 	var poolStats parallel.Stats
 	for t := startIter; t < cfg.Iterations; t++ {
+		if cancelable {
+			if err := ctx.Err(); err != nil {
+				return nil, canceled(t, src.Draws(), err)
+			}
+		}
+		// The RNG position at this iteration boundary, for the final
+		// checkpoint if the gradient pass below is interrupted.
+		drawsBefore := src.Draws()
 		// Draw the whole batch first so rng consumption is independent of
 		// scheduling, then fan the per-sample passes out to the pool.
 		for b := range picks {
 			picks[b] = rng.Intn(container.Len())
 		}
-		st := parallel.For(workers, batch, 1, gradPass)
+		var st parallel.Stats
+		if cancelable {
+			var err error
+			st, err = parallel.ForCtx(ctx, workers, batch, 1, gradPass)
+			if err != nil {
+				return nil, canceled(t, drawsBefore, err)
+			}
+		} else {
+			st = parallel.For(workers, batch, 1, gradPass)
+		}
 		poolStats.Workers = st.Workers
 		poolStats.Chunks += st.Chunks
 		poolStats.MaxChunks += st.MaxChunks

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -202,16 +203,20 @@ func (s *Server) resolveQuery(w http.ResponseWriter, r *http.Request) (*modelEnt
 
 // score runs the model forward pass over a stored graph with the
 // standard structural features — the serve-time twin of Result.Scores.
-func score(me *modelEntry, ge *graphEntry) []float64 {
+// It honors ctx between layers, so a canceled request (client gone, or
+// the QueryTimeout deadline http.TimeoutHandler set on the request
+// context) stops computing instead of finishing for nobody.
+func score(ctx context.Context, me *modelEntry, ge *graphEntry) ([]float64, error) {
 	x := tensor.FromSlice(ge.g.NumNodes(), dataset.NumStructuralFeatures, dataset.StructuralFeatures(ge.g))
-	return me.model.Score(ge.g, x)
+	return me.model.ScoreContext(ctx, ge.g, x)
 }
 
 // answer serves the query through the LRU cache: a hit returns the
-// memoized response (marked Cached), a miss computes, stores, and
-// returns it.
-func (s *Server) answer(w http.ResponseWriter, mode string, me *modelEntry, ge *graphEntry,
-	k int, compute func() queryResponse) {
+// memoized response (marked Cached), a miss computes under the request
+// context, stores, and returns it. A canceled computation answers 503
+// and is never cached.
+func (s *Server) answer(w http.ResponseWriter, r *http.Request, mode string, me *modelEntry, ge *graphEntry,
+	k int, compute func(ctx context.Context) (queryResponse, error)) {
 	key := cacheKey{Model: me.info.Ref(), Fingerprint: ge.fp, K: k, Mode: mode}
 	if v, ok := s.cache.Get(key); ok {
 		s.reg.Counter("serve.cache.hits").Inc()
@@ -221,7 +226,14 @@ func (s *Server) answer(w http.ResponseWriter, mode string, me *modelEntry, ge *
 		return
 	}
 	s.reg.Counter("serve.cache.misses").Inc()
-	resp := compute()
+	clk := obs.WatchCancel(r.Context())
+	defer clk.Stop()
+	resp, err := compute(r.Context())
+	if err != nil {
+		s.reg.Emit(obs.Canceled{Phase: "query", Reason: err.Error(), Latency: clk.Latency()})
+		httpError(w, http.StatusServiceUnavailable, "query canceled: %v", err)
+		return
+	}
 	s.cache.Put(key, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -235,14 +247,18 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 	if k == 0 {
 		k = 10
 	}
-	s.answer(w, "seeds", me, ge, k, func() queryResponse {
+	s.answer(w, r, "seeds", me, ge, k, func(ctx context.Context) (queryResponse, error) {
+		scores, err := score(ctx, me, ge)
+		if err != nil {
+			return queryResponse{}, err
+		}
 		return queryResponse{
 			Model:       me.info.Ref(),
 			Graph:       ge.info.Name,
 			Fingerprint: ge.info.Fingerprint,
 			K:           k,
-			Seeds:       im.TopKScores(score(me, ge), k),
-		}
+			Seeds:       im.TopKScores(scores, k),
+		}, nil
 	})
 }
 
@@ -255,13 +271,17 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k is a /v1/seeds parameter; /v1/score returns all nodes")
 		return
 	}
-	s.answer(w, "score", me, ge, 0, func() queryResponse {
+	s.answer(w, r, "score", me, ge, 0, func(ctx context.Context) (queryResponse, error) {
+		scores, err := score(ctx, me, ge)
+		if err != nil {
+			return queryResponse{}, err
+		}
 		return queryResponse{
 			Model:       me.info.Ref(),
 			Graph:       ge.info.Name,
 			Fingerprint: ge.info.Fingerprint,
-			Scores:      score(me, ge),
-		}
+			Scores:      scores,
+		}, nil
 	})
 }
 

@@ -27,16 +27,20 @@ const DefaultTenant = "default"
 // JobState is the lifecycle of an async training job.
 type JobState string
 
-// Job lifecycle: queued → running → done/failed; queued jobs may be
-// canceled before a worker picks them up (running jobs are not
-// interruptible — training has no preemption points — so cancel on a
-// running job is a conflict).
+// Job lifecycle: queued → running → done/failed/canceled, with a
+// transient canceling state between a cancel request on a running job
+// and the trainer actually stopping. Queued jobs cancel immediately
+// (full refund — nothing was spent); running jobs are preempted
+// cooperatively: the trainer stops at its next preemption point, writes
+// a final checkpoint, and the manager commits the ε actually spent,
+// refunding only the unspent remainder of the reservation.
 const (
-	JobQueued   JobState = "queued"
-	JobRunning  JobState = "running"
-	JobDone     JobState = "done"
-	JobFailed   JobState = "failed"
-	JobCanceled JobState = "canceled"
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobCanceling JobState = "canceling"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCanceled  JobState = "canceled"
 )
 
 // TrainRequest is the POST /v1/train body. Graph names a stored graph;
@@ -110,6 +114,11 @@ type job struct {
 	status JobStatus
 	req    TrainRequest
 	g      *graph.Graph
+	// cancel preempts the job's training context; non-nil only while the
+	// job is running. cancelAt is when cancellation was requested, for
+	// the cancel-latency histogram.
+	cancel   context.CancelFunc
+	cancelAt time.Time
 }
 
 // jobManagerOptions configure a jobManager; see the serve.Options fields
@@ -124,6 +133,7 @@ type jobManagerOptions struct {
 	metrics         *obs.Registry
 	logf            func(string, ...any)
 	budget          *ledger.Ledger // nil = no budget tracking
+	drainGrace      time.Duration  // 0 = wait for running jobs forever
 }
 
 // jobManager runs training jobs on a bounded worker pool with a bounded
@@ -142,7 +152,11 @@ type jobManager struct {
 	queueCap int
 	wg       sync.WaitGroup
 	draining bool
-	nextID   int
+	// preempted is set when the drain grace elapses: running jobs have
+	// been canceled and workers must not pick up queued work (it stays in
+	// the job table for restart recovery).
+	preempted bool
+	nextID    int
 
 	journalDir      string
 	checkpointEvery int
@@ -151,6 +165,7 @@ type jobManager struct {
 	metrics         *obs.Registry
 	logf            func(string, ...any)
 	budget          *ledger.Ledger
+	drainGrace      time.Duration
 
 	// perJobWorkers is the compute-pool width each training job runs at:
 	// the process-wide limit divided across the concurrent job slots, so a
@@ -176,6 +191,7 @@ func newJobManager(opts jobManagerOptions) *jobManager {
 		metrics:         opts.metrics,
 		logf:            opts.logf,
 		budget:          opts.budget,
+		drainGrace:      opts.drainGrace,
 		perJobWorkers:   perJob,
 	}
 	m.cond = sync.NewCond(&m.mu)
@@ -272,9 +288,14 @@ func (m *jobManager) List() []JobStatus {
 	return out
 }
 
-// Cancel marks a queued job canceled and removes it from the queue, so
-// the slot it held is immediately available to new submissions. Running
-// or finished jobs conflict.
+// Cancel cancels a job. A queued job cancels immediately: it leaves the
+// queue (releasing its slot to new submissions) and its full reservation
+// is refunded — nothing ran, nothing was spent. A running job moves to
+// canceling: its training context is canceled and the trainer stops at
+// the next preemption point, writes a final checkpoint, and the worker
+// settles the job as canceled — committing exactly the ε its iterations
+// released and refunding only the unspent remainder. Finished jobs
+// conflict.
 func (m *jobManager) Cancel(id string) (JobStatus, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -282,31 +303,48 @@ func (m *jobManager) Cancel(id string) (JobStatus, error) {
 	if !ok {
 		return JobStatus{}, fmt.Errorf("job %q not found", id)
 	}
-	if j.status.State != JobQueued {
-		return j.status, fmt.Errorf("job %q is %s, only queued jobs cancel", id, j.status.State)
-	}
-	j.status.State = JobCanceled
-	j.status.Finished = time.Now()
-	if m.budget != nil {
-		// The job never ran, so it spent nothing: release its reservation.
-		// Ledger before job table, so a crash between the two leaves the
-		// ledger ahead — never behind — of what recovery replays.
-		m.budget.Refund(id)
-	}
-	for i, p := range m.pending {
-		if p == j {
-			m.pending = append(m.pending[:i], m.pending[i+1:]...)
-			m.metrics.Gauge("serve.jobs.queued").Dec()
-			break
+	switch j.status.State {
+	case JobQueued:
+		j.status.State = JobCanceled
+		j.status.Finished = time.Now()
+		if m.budget != nil {
+			// The job never ran, so it spent nothing: release its reservation.
+			// Ledger before job table, so a crash between the two leaves the
+			// ledger ahead — never behind — of what recovery replays.
+			m.budget.Refund(id)
 		}
+		for i, p := range m.pending {
+			if p == j {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				m.metrics.Gauge("serve.jobs.queued").Dec()
+				break
+			}
+		}
+		m.metrics.Counter("serve.jobs.canceled").Inc()
+		m.persistLocked(j)
+		return j.status, nil
+	case JobRunning:
+		j.status.State = JobCanceling
+		j.cancelAt = time.Now()
+		if j.cancel != nil {
+			j.cancel()
+		}
+		m.metrics.Counter("serve.jobs.cancel_requested").Inc()
+		// Persist the transient state: if the daemon dies before the
+		// trainer stops, recovery resolves "canceling" as canceled and
+		// forfeits the reservation (the partial spend was never committed).
+		m.persistLocked(j)
+		return j.status, nil
+	default:
+		return j.status, fmt.Errorf("job %q is %s, only queued or running jobs cancel", id, j.status.State)
 	}
-	m.metrics.Counter("serve.jobs.canceled").Inc()
-	m.persistLocked(j)
-	return j.status, nil
 }
 
-// Shutdown stops accepting jobs, lets queued and running work finish,
-// and returns when the pool has drained or ctx expires.
+// Shutdown stops accepting jobs and waits for the pool to drain or ctx
+// to expire. With a drain grace configured, jobs still running once the
+// grace elapses are preempted: their training contexts are canceled,
+// each writes a final checkpoint and settles its partial spend, and the
+// still-queued remainder stays in the job table for restart recovery.
 func (m *jobManager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.draining {
@@ -319,11 +357,43 @@ func (m *jobManager) Shutdown(ctx context.Context) error {
 		m.wg.Wait()
 		close(done)
 	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	var grace <-chan time.Time
+	if m.drainGrace > 0 {
+		t := time.NewTimer(m.drainGrace)
+		defer t.Stop()
+		grace = t.C
+	}
+	for {
+		select {
+		case <-done:
+			return nil
+		case <-grace:
+			grace = nil
+			m.preemptRunning()
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// preemptRunning cancels every running job's training context and stops
+// workers from picking up queued jobs. Preempted jobs finish as canceled
+// with a resumable checkpoint; the queued remainder requeues on restart.
+func (m *jobManager) preemptRunning() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.preempted = true
+	m.cond.Broadcast()
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if j.status.State == JobRunning && j.cancel != nil {
+			j.status.State = JobCanceling
+			j.cancelAt = time.Now()
+			j.cancel()
+			m.metrics.Counter("serve.jobs.preempted").Inc()
+			m.persistLocked(j)
+			m.logf("serve: drain grace elapsed, preempting %s", id)
+		}
 	}
 }
 
@@ -343,10 +413,10 @@ func (m *jobManager) worker() {
 func (m *jobManager) dequeue() *job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.pending) == 0 && !m.draining {
+	for len(m.pending) == 0 && !m.draining && !m.preempted {
 		m.cond.Wait()
 	}
-	if len(m.pending) == 0 {
+	if len(m.pending) == 0 || m.preempted {
 		return nil
 	}
 	j := m.pending[0]
@@ -359,12 +429,18 @@ func (m *jobManager) dequeue() *job {
 // server-wide observer plus a per-job JSONL journal when a journal
 // directory is configured.
 func (m *jobManager) run(j *job) {
+	// The job trains under a cancelable context: Cancel on a running job
+	// and drain-grace preemption both fire j.cancel, and the trainer
+	// stops cooperatively at its next preemption point.
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
 	m.mu.Lock()
 	if j.status.State != JobQueued { // canceled while waiting
 		m.mu.Unlock()
 		return
 	}
 	j.status.State = JobRunning
+	j.cancel = cancelRun
 	j.status.Started = time.Now()
 	if j.status.Trace == "" {
 		// Jobs recovered from a pre-trace jobs.jsonl have no ID; mint one
@@ -446,7 +522,7 @@ func (m *jobManager) run(j *job) {
 	// the job's span tree in it, so every span in the per-job journal —
 	// the serve.job root, train, its modules, the parallel kernels —
 	// resolves to one tree stamped with the submitter's trace.
-	ctx := obs.ContextWithTrace(context.Background(), trace)
+	ctx := obs.ContextWithTrace(runCtx, trace)
 	jobSpan := obs.StartSpanCtx(ctx, observer, "serve.job")
 	ctx = obs.ContextWithSpan(ctx, jobSpan)
 
@@ -475,9 +551,36 @@ func (m *jobManager) run(j *job) {
 	}
 
 	m.mu.Lock()
+	j.cancel = nil
+	canceledAt := j.cancelAt
 	j.status.Finished = time.Now()
 	j.status.Journal = journalPath
-	if err != nil {
+	var cerr *core.CanceledError
+	if errors.As(err, &cerr) {
+		// Canceled at a preemption point: exactly cerr.Iter iterations of
+		// noise were released, and cerr.Partial carries the accountant's ε
+		// at that point. Commit that — never refund noise already added —
+		// and the commit releases the reservation's unspent remainder. The
+		// final checkpoint (kept below: err != nil skips the RemoveAll)
+		// lets a resubmitted run resume bit-for-bit.
+		j.status.State = JobCanceled
+		j.status.Error = err.Error()
+		j.status.EpsilonSpent = cerr.Partial.EpsilonSpent
+		j.status.Private = cerr.Partial.Private
+		j.status.NumSubgraphs = cerr.Partial.NumSubgraphs
+		if m.budget != nil && privateRequest(req) {
+			acct, _ := cerr.Partial.Accountant()
+			m.budget.Commit(id, tenant, fp, ledger.Charge{
+				Acct:       acct,
+				Iterations: cerr.Iter,
+				Epsilon:    cerr.Partial.EpsilonSpent,
+			})
+		}
+		if !canceledAt.IsZero() {
+			m.metrics.Histogram("serve.jobs.cancel_latency_us").
+				Observe(float64(j.status.Finished.Sub(canceledAt).Microseconds()))
+		}
+	} else if err != nil {
 		j.status.State = JobFailed
 		j.status.Error = err.Error()
 		// The ε the trainer had released before failing (0 when it never
@@ -511,13 +614,18 @@ func (m *jobManager) run(j *job) {
 	m.mu.Unlock()
 	if err == nil && cfg.CheckpointDir != "" {
 		// A finished job has nothing to resume; failed jobs keep their
-		// checkpoints for post-mortem debugging.
+		// checkpoints for post-mortem debugging and canceled jobs keep
+		// theirs so a resubmission resumes instead of restarting.
 		os.RemoveAll(cfg.CheckpointDir)
 	}
-	if err != nil {
+	switch {
+	case cerr != nil:
+		m.metrics.Counter("serve.jobs.canceled").Inc()
+		m.logf("serve: %s canceled after %d iterations (ε spent %.4g)", id, cerr.Iter, cerr.Partial.EpsilonSpent)
+	case err != nil:
 		m.metrics.Counter("serve.jobs.failed").Inc()
 		m.logf("serve: %s failed: %v", id, err)
-	} else {
+	default:
 		m.metrics.Counter("serve.jobs.completed").Inc()
 		m.logf("serve: %s done: model %s", id, modelRef)
 	}

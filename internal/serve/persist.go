@@ -203,6 +203,22 @@ func (m *jobManager) recover(lookup func(string) *graph.Graph) (requeued, failed
 			} else {
 				m.logf("serve: recovery: %s requeued", id)
 			}
+		case JobCanceling:
+			// A cancel was requested but the daemon died before the trainer
+			// stopped, so the partial spend was never committed. Resolve as
+			// canceled and forfeit the full reservation — the conservative
+			// rule for an unknowable spend, same as an interrupted run. The
+			// Forfeit is a no-op when the crash landed after the commit but
+			// before the terminal job-table append (terminal refs are
+			// idempotent), so replay converges to the same balance.
+			j.status.State = JobCanceled
+			j.status.Error = "canceled; daemon restarted before the partial spend was committed"
+			j.status.Finished = time.Now()
+			if m.budget != nil {
+				m.budget.Forfeit(id)
+			}
+			m.persistLocked(j)
+			m.logf("serve: recovery: %s canceled (restart during cancellation)", id)
 		default:
 			// done / failed / canceled: history only.
 		}

@@ -84,6 +84,13 @@ type Options struct {
 	TrainQueue int
 	// CacheSize bounds the LRU result cache entry count (default 256).
 	CacheSize int
+	// DrainGrace bounds how long Drain waits for running training jobs
+	// before preempting them: once it elapses, each running job's context
+	// is canceled, the trainer writes a final checkpoint and its partial
+	// ε is committed, and still-queued jobs are left in the job table for
+	// restart recovery. 0 (the default) waits for running jobs until the
+	// Drain context itself expires.
+	DrainGrace time.Duration
 
 	// Registry receives the server's metrics (requests, latency, cache
 	// hit/miss, job counts); nil creates a private one. Sharing the
@@ -194,6 +201,7 @@ func New(opts Options) (*Server, error) {
 		metrics:         s.reg,
 		logf:            opts.Logf,
 		budget:          s.budget,
+		drainGrace:      opts.DrainGrace,
 	})
 	s.admission = newAdmission(opts.MaxConcurrent, s.reg)
 	s.buildRoutes()
@@ -221,9 +229,12 @@ func (s *Server) StoreGraph(name string, data []byte) (GraphInfo, error) {
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // Drain stops accepting training jobs, waits for queued and running
-// jobs to finish (bounded by ctx), and flips /healthz to draining. HTTP
-// in-flight draining is the owning http.Server's job (Shutdown); call
-// that first, then Drain.
+// jobs to finish (bounded by ctx), and flips /healthz to draining. With
+// Options.DrainGrace set, jobs still running when the grace elapses are
+// preempted — canceled at their next preemption point with a final
+// checkpoint and their partial ε committed — so a long training run
+// cannot hold up shutdown indefinitely. HTTP in-flight draining is the
+// owning http.Server's job (Shutdown); call that first, then Drain.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	return s.jobs.Shutdown(ctx)
@@ -240,6 +251,11 @@ func (s *Server) buildRoutes() {
 	mux := http.NewServeMux()
 	admit := s.admission.wrap
 	timeout := func(h http.Handler) http.Handler {
+		// TimeoutHandler writes the 503 — and, crucially, puts a deadline
+		// of QueryTimeout on the request context. The query handlers pass
+		// r.Context() into the context-aware kernels, so when the 503 goes
+		// out the computation actually stops at its next preemption point
+		// instead of finishing for a client that already got an error.
 		return http.TimeoutHandler(h, s.opts.QueryTimeout, `{"error":"request timed out"}`)
 	}
 	hf := func(f http.HandlerFunc) http.Handler { return f }

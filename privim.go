@@ -142,6 +142,14 @@ func TrainContext(ctx context.Context, g *Graph, cfg Config) (*Result, error) {
 	return core.TrainContext(ctx, g, cfg)
 }
 
+// TrainCanceledError is the typed error TrainContext returns when its
+// context fires: Partial holds the result as of the last completed
+// iteration, Iter the completed-iteration count, and CheckpointPath the
+// final checkpoint (when a checkpoint directory is configured) from
+// which a rerun resumes bit-for-bit. errors.Is(err, context.Canceled)
+// sees through it.
+type TrainCanceledError = core.CanceledError
+
 // DefaultIndicator returns the paper's fitted indicator parameters.
 func DefaultIndicator() Indicator { return core.DefaultIndicator() }
 
@@ -180,6 +188,24 @@ func EstimateSpreadObserved(m DiffusionModel, seeds []NodeID, rounds int, seed i
 	return diffusion.EstimateObserved(m, seeds, rounds, seed, o)
 }
 
+// EstimateSpreadContext is EstimateSpreadObserved under a caller
+// context: cancellation is honored between simulation chunks, returning
+// a *SpreadCanceledError. A run that completes is bit-identical to
+// EstimateSpread at any worker count.
+func EstimateSpreadContext(ctx context.Context, m DiffusionModel, seeds []NodeID, rounds int, seed int64, o Observer) (float64, error) {
+	return diffusion.EstimateContext(ctx, m, seeds, rounds, seed, o)
+}
+
+// SpreadCanceledError reports a spread estimation stopped early, with
+// how many Monte-Carlo rounds had completed.
+type SpreadCanceledError = diffusion.CanceledError
+
+// SelectCanceledError reports a seed-selection solve (CELF, greedy,
+// RIS, IMM SelectContext) stopped early; Seeds holds the valid greedy
+// prefix selected so far, nil when cancellation hit before the first
+// pick.
+type SelectCanceledError = im.CanceledError
+
 // Observability. Set Config.Observer to watch a run live: spans over
 // Modules 1–3, per-iteration loss/clip/ε telemetry, extraction and
 // Monte-Carlo histograms. See the README's Observability section.
@@ -211,6 +237,9 @@ type (
 	CheckpointSaved    = obs.CheckpointSaved
 	CheckpointResumed  = obs.CheckpointResumed
 	CheckpointRejected = obs.CheckpointRejected
+	// Canceled reports a phase stopped by context cancellation, with how
+	// much work was done and the fire-to-stop latency.
+	Canceled = obs.Canceled
 	// JSONLSink journals events as JSON lines.
 	JSONLSink = obs.JSONLSink
 	// MetricsRegistry aggregates events into named counters, gauges, and
