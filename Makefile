@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race cover bench bench-all bench-smoke bench-diff alloc-smoke suite suite-paper examples fuzz serve-smoke crash-smoke budget-smoke trace-smoke cancel-smoke clean
+.PHONY: all build test vet lint race cover bench bench-all bench-smoke bench-diff alloc-smoke suite suite-paper examples fuzz serve-smoke crash-smoke budget-smoke trace-smoke cancel-smoke alert-smoke clean
 
 all: build vet test
 
@@ -23,8 +23,8 @@ test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/privim/ ./internal/diffusion/ ./internal/expt/ ./internal/serve/ ./internal/graph/ \
-		./internal/parallel/ ./internal/tensor/ ./internal/autodiff/ ./internal/nn/ ./internal/im/ ./internal/ledger/
+	$(GO) test -race ./internal/obs/ ./internal/obs/history/ ./internal/privim/ ./internal/diffusion/ ./internal/expt/ ./internal/serve/ ./internal/graph/ \
+		./internal/parallel/ ./internal/tensor/ ./internal/autodiff/ ./internal/nn/ ./internal/im/ ./internal/ledger/ ./internal/cliutil/
 
 cover:
 	$(GO) test -cover ./...
@@ -49,7 +49,7 @@ bench-diff:
 # floors don't hold there); the workers-1-vs-N bit-equality re-runs over
 # the same pooled paths run under -race.
 alloc-smoke:
-	$(GO) test -run 'SteadyState' -v ./internal/privim/ ./internal/diffusion/ ./internal/im/ | grep -v '^=== RUN'
+	$(GO) test -run 'SteadyState' -v ./internal/privim/ ./internal/diffusion/ ./internal/im/ ./internal/obs/history/ | grep -v '^=== RUN'
 	$(GO) test -race -run 'WorkerInvariant|BitExact|StreamStable' \
 		./internal/privim/ ./internal/diffusion/ ./internal/im/ ./internal/nn/ ./internal/tensor/ ./internal/autodiff/
 
@@ -117,6 +117,34 @@ serve-smoke:
 	echo "serve-smoke: OK"; status=$$?; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -f /tmp/privimd-smoke; exit $$status
+
+# Alerting suite under the race detector (history rings, rule engine,
+# triggered profiles, and the serve-layer ε burn-rate e2e), then a live
+# check: boot privimd with an always-true heap threshold rule and a
+# profile dir, and assert the alert fires on /v1/alerts, /v1/stats
+# serves the series, and a pprof artifact lands in the ring.
+alert-smoke:
+	$(GO) test -race -run 'Alert|BurnRate|Rule|Profile|Stats|Tick|Ring' \
+		./internal/obs/ ./internal/obs/history/ ./internal/serve/
+	@$(GO) build -o /tmp/privimd-alert ./cmd/privimd
+	@dir=$$(mktemp -d); \
+	printf '[{"name":"heap-floor","metric":"go.heap_bytes","kind":"threshold","op":">=","value":1}]' > $$dir/rules.json; \
+	/tmp/privimd-alert -addr 127.0.0.1:7398 -history-every 50ms \
+		-alert-rules $$dir/rules.json -profile-dir $$dir/profiles & pid=$$!; \
+	ok=1; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://127.0.0.1:7398/v1/alerts 2>/dev/null | grep -q heap-floor && ok=0 && break; \
+		sleep 0.1; \
+	done; \
+	if [ $$ok -eq 0 ]; then \
+		curl -fsS 'http://127.0.0.1:7398/v1/stats?metric=go.heap_bytes&window=1m' | grep -q '"points"' || ok=1; \
+	fi; \
+	if [ $$ok -eq 0 ]; then \
+		ls $$dir/profiles/*.pprof >/dev/null 2>&1 || ok=1; \
+	fi; \
+	if [ $$ok -eq 0 ]; then echo "alert-smoke: OK"; else echo "alert-smoke: FAILED"; fi; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -rf $$dir /tmp/privimd-alert; exit $$ok
 
 # Tiny training run with -trace-out, then validate the emitted Chrome
 # trace-event JSON with tracecat.

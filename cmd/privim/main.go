@@ -8,6 +8,13 @@
 //	privim -graph my.edges -mode privim -eps 1 -k 20
 //	privim -journal run.jsonl -debug-addr localhost:6060 -preset email
 //	privim -trace-out trace.json -slow-span 2s -preset email
+//	privim -stats-every 10s -profile-dir ./profiles -preset email
+//
+// -stats-every prints a one-line telemetry summary (iterations, loss, ε
+// spent, goroutines, heap) to stderr each interval and keeps an
+// in-process metric history, queryable at the -debug-addr listener's
+// /v1/stats and /v1/alerts. -profile-dir captures pprof heap+CPU pairs
+// when a -slow-span watchdog trips, pruned to the newest -profile-keep.
 package main
 
 import (

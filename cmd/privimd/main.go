@@ -18,6 +18,16 @@
 //	POST /v1/score, /v1/seeds      cached model queries
 //	POST /v1/train, /v1/jobs...    async training jobs
 //	GET  /v1/budget                caller's privacy-budget position
+//	GET  /v1/stats                 windowed metric history (?metric=&window=)
+//	GET  /v1/alerts                active + recently-resolved alerts
+//
+// The daemon samples every registry metric plus Go runtime telemetry
+// into an in-process history ring each -history-every, and evaluates
+// alert rules (built-ins: per-tenant ε burn rate, job-queue depth,
+// route p99 latency, heap growth; more via -alert-rules) against it.
+// With -profile-dir set, a firing rule or a -slow-span watchdog trip
+// captures a pprof heap+CPU pair into a bounded on-disk ring and stamps
+// the artifact path on the alert.
 //
 // With -budget set, every private training job charges a per-tenant
 // (X-Privim-Tenant header) privacy-budget ledger keyed on the graph
@@ -45,6 +55,7 @@ import (
 
 	"privim/internal/cliutil"
 	"privim/internal/obs"
+	"privim/internal/obs/history"
 	"privim/internal/serve"
 )
 
@@ -63,6 +74,9 @@ func main() {
 		cacheSize     = flag.Int("cache-size", 256, "LRU result-cache entry capacity")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
 		drainGrace    = flag.Duration("drain-grace", 0, "how long shutdown waits for running training jobs before preempting them (checkpoint + partial ε commit); 0 waits the full -drain-timeout")
+		historyEvery  = flag.Duration("history-every", 10*time.Second, "metric-history sampling and alert-evaluation cadence for /v1/stats and /v1/alerts")
+		historyCap    = flag.Int("history-capacity", 0, "points retained per metric series in the in-process history ring (default 360 — one hour at the default cadence)")
+		alertRules    = flag.String("alert-rules", "", "JSON file of alert rules (threshold, delta, slo_burn_rate) evaluated every -history-every, added to the built-in rules; see README Monitoring & alerting")
 		workers       = cliutil.RegisterWorkers(flag.CommandLine)
 		obsFlags      cliutil.ObserverFlags
 		budgetFlags   cliutil.BudgetFlags
@@ -75,6 +89,15 @@ func main() {
 	cliutil.ApplyWorkers(*workers)
 
 	logger := log.New(os.Stderr, "privimd: ", log.LstdFlags)
+
+	var rules []history.Rule
+	if *alertRules != "" {
+		var err error
+		if rules, err = history.LoadRules(*alertRules); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("loaded %d alert rule(s) from %s", len(rules), *alertRules)
+	}
 
 	// One registry backs /metrics, /debug/vars, and the training-event
 	// aggregation, so every view of the daemon agrees.
@@ -104,12 +127,24 @@ func main() {
 		Budget:          budgetFlags.Budget,
 		BudgetDelta:     budgetFlags.Delta,
 		BudgetLedger:    budgetFlags.Path,
+		HistoryEvery:    *historyEvery,
+		HistoryCapacity: *historyCap,
+		AlertRules:      rules,
+		ProfileDir:      obsFlags.ProfileDir,
+		ProfileKeep:     obsFlags.ProfileKeep,
 		Registry:        reg,
 		Observer:        stack.Observer,
 		Logf:            logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)
+	}
+	if stack.Debug != nil && stack.Sampler == nil {
+		// Surface the daemon's own history on the debug listener too. When
+		// -stats-every ran a cliutil sampler, its handlers already own these
+		// debug-mux patterns; the API listener serves this sampler either way.
+		stack.Debug.Handle("GET /v1/stats", history.StatsHandler(srv.History()))
+		stack.Debug.Handle("GET /v1/alerts", history.AlertsHandler(srv.History()))
 	}
 	if *graphsDir != "" {
 		if err := preloadGraphs(srv, *graphsDir, logger); err != nil {

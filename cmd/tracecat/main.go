@@ -14,6 +14,12 @@
 // of one trace ID — the value of the X-Privim-Trace response header or
 // a job's "trace" field. -check validates an already-converted trace
 // file instead of converting, for use in CI smoke tests.
+//
+// Journals that carry alert history (alert_fired / alert_resolved
+// records from the -stats-every sampler or the daemon's alert engine)
+// convert too: each alert becomes a global instant event on the
+// timeline, labeled with the rule name and carrying the metric, value,
+// threshold, and any captured profile path in its args.
 package main
 
 import (

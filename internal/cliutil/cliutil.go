@@ -1,9 +1,9 @@
 // Package cliutil holds the flag plumbing shared by the privim binaries
 // (cmd/privim, cmd/imbench, cmd/privimd): the observability flag set
-// (-journal, -debug-addr, -trace-out, -slow-span) and the assembly of
-// the observer stack they request. Centralizing it keeps the CLIs'
-// behavior identical — same flag names, same help text, same
-// journal/trace/debug lifecycle.
+// (-journal, -debug-addr, -trace-out, -slow-span, -stats-every,
+// -profile-dir) and the assembly of the observer stack they request.
+// Centralizing it keeps the CLIs' behavior identical — same flag names,
+// same help text, same journal/trace/debug lifecycle.
 package cliutil
 
 import (
@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"privim/internal/obs"
+	"privim/internal/obs/history"
 	"privim/internal/parallel"
 )
 
@@ -81,14 +82,18 @@ func (f *BudgetFlags) Register(fs *flag.FlagSet, pathFlag string) {
 // Register installs the flags on a FlagSet; Setup builds the stack the
 // parsed values request.
 type ObserverFlags struct {
-	Journal   string
-	DebugAddr string
-	TraceOut  string
-	SlowSpan  time.Duration
+	Journal     string
+	DebugAddr   string
+	TraceOut    string
+	SlowSpan    time.Duration
+	StatsEvery  time.Duration
+	ProfileDir  string
+	ProfileKeep int
 }
 
-// Register installs -journal, -debug-addr, -trace-out, and -slow-span on
-// fs with the shared help text.
+// Register installs -journal, -debug-addr, -trace-out, -slow-span,
+// -stats-every, -profile-dir, and -profile-keep on fs with the shared
+// help text.
 func (f *ObserverFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Journal, "journal", "",
 		"append a JSONL event journal (spans, per-iteration loss/ε, MC batches) to this path")
@@ -98,6 +103,12 @@ func (f *ObserverFlags) Register(fs *flag.FlagSet) {
 		"write a Chrome trace-event JSON timeline of the run to this path (open in https://ui.perfetto.dev)")
 	fs.DurationVar(&f.SlowSpan, "slow-span", 0,
 		"emit a span_slow event when any span exceeds this duration (0 = off)")
+	fs.DurationVar(&f.StatsEvery, "stats-every", 0,
+		"print a one-line telemetry summary (iterations, loss, ε spent, goroutines, heap) to stderr every interval and keep an in-process metric history, queryable at the debug server's /v1/stats and /v1/alerts (0 = off)")
+	fs.StringVar(&f.ProfileDir, "profile-dir", "",
+		"capture pprof heap+CPU profile pairs into this directory when an alert rule fires or a -slow-span watchdog trips, keeping only the newest few (see -profile-keep)")
+	fs.IntVar(&f.ProfileKeep, "profile-keep", 0,
+		"number of triggered profile captures to keep in -profile-dir before pruning the oldest (default 8)")
 }
 
 // Stack is the assembled observability plumbing: the fan-out Observer to
@@ -109,8 +120,10 @@ func (f *ObserverFlags) Register(fs *flag.FlagSet) {
 // journal, convert the trace timeline, and stop the debug listener.
 type Stack struct {
 	Observer obs.Observer
-	Registry *obs.Registry    // non-nil iff -debug-addr was set
-	Debug    *obs.DebugServer // non-nil iff -debug-addr was set
+	Registry *obs.Registry        // non-nil when -debug-addr or -stats-every was set
+	Debug    *obs.DebugServer     // non-nil iff -debug-addr was set
+	Sampler  *history.Sampler     // non-nil iff -stats-every was set
+	Profiles *history.ProfileRing // non-nil iff -profile-dir was set
 	TraceID  string
 
 	name      string
@@ -120,6 +133,8 @@ type Stack struct {
 	traceSink *obs.JSONLSink
 	traceOut  string
 	watchdog  *obs.SlowSpanWatchdog
+	statsStop chan struct{}
+	statsDone chan struct{}
 }
 
 // Context returns ctx carrying the stack's trace ID, for threading into
@@ -131,7 +146,9 @@ func (s *Stack) Context(ctx context.Context) context.Context {
 
 // Setup assembles what the flags request: a JSONL journal sink when
 // -journal is set, a Chrome trace-event timeline when -trace-out is set,
-// a slow-span watchdog when -slow-span is set, and a metrics registry
+// a slow-span watchdog when -slow-span is set, a triggered-profile ring
+// when -profile-dir is set, a history sampler plus a periodic stderr
+// telemetry line when -stats-every is set, and a metrics registry
 // published via expvar under name behind a pprof-enabled debug listener
 // when -debug-addr is set. A non-nil reg is used in place of a fresh
 // registry — the daemon shares one registry between its /metrics
@@ -139,6 +156,7 @@ func (s *Stack) Context(ctx context.Context) context.Context {
 func (f *ObserverFlags) Setup(name string, reg *obs.Registry) (*Stack, error) {
 	s := &Stack{name: name, TraceID: obs.NewTraceID()}
 	var observers []obs.Observer
+	var sinks []obs.Observer // journal + trace only: alert events tee here
 	if f.Journal != "" {
 		file, err := os.Create(f.Journal)
 		if err != nil {
@@ -148,6 +166,7 @@ func (f *ObserverFlags) Setup(name string, reg *obs.Registry) (*Stack, error) {
 		s.sink = obs.NewJSONLSink(file)
 		s.sink.SetTrace(s.TraceID)
 		observers = append(observers, s.sink)
+		sinks = append(sinks, s.sink)
 	}
 	if f.TraceOut != "" {
 		// Events journal into memory during the run; Close converts the
@@ -158,16 +177,36 @@ func (f *ObserverFlags) Setup(name string, reg *obs.Registry) (*Stack, error) {
 		s.traceSink = obs.NewJSONLSink(s.traceBuf)
 		s.traceSink.SetTrace(s.TraceID)
 		observers = append(observers, s.traceSink)
+		sinks = append(sinks, s.traceSink)
+	}
+	if f.ProfileDir != "" {
+		ring, err := history.NewProfileRing(history.ProfileOptions{
+			Dir:  f.ProfileDir,
+			Keep: f.ProfileKeep,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, name+": profile: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			s.closeJournal()
+			return nil, err
+		}
+		s.Profiles = ring
+		// Before the watchdog wrap below: SpanSlow events flow through the
+		// wrapped chain, so the capture hook must sit inside it.
+		observers = append(observers, ring.CaptureOnSlowSpan())
+	}
+	// A caller-provided registry is published but not fanned into the
+	// observer — the caller already routes events into it (the daemon
+	// wires it through serve.Options.Registry); appending it here would
+	// double-count every event. An owned registry (created because
+	// -debug-addr or -stats-every needs one) does join the fan-out.
+	owned := false
+	if reg == nil && (f.DebugAddr != "" || f.StatsEvery > 0) {
+		owned = true
+		reg = obs.NewRegistry()
 	}
 	if f.DebugAddr != "" {
-		// A caller-provided registry is published but not fanned into the
-		// observer — the caller already routes events into it (the daemon
-		// wires it through serve.Options.Registry); appending it here
-		// would double-count every event.
-		owned := reg == nil
-		if owned {
-			reg = obs.NewRegistry()
-		}
 		if err := reg.Publish(name); err != nil {
 			s.closeJournal()
 			return nil, err
@@ -177,12 +216,34 @@ func (f *ObserverFlags) Setup(name string, reg *obs.Registry) (*Stack, error) {
 			s.closeJournal()
 			return nil, err
 		}
-		s.Registry, s.Debug = reg, dbg
+		s.Debug = dbg
 		fmt.Printf("debug server: http://%s/debug/vars (metrics), http://%s/metrics/prom (Prometheus), http://%s/debug/pprof/ (profiles)\n",
 			dbg.Addr(), dbg.Addr(), dbg.Addr())
+	}
+	if reg != nil {
+		s.Registry = reg
 		if owned {
 			observers = append(observers, reg)
 		}
+	}
+	if f.StatsEvery > 0 {
+		// The sampler routes alert_fired/alert_resolved into the registry
+		// itself; tee them into the journal/trace sinks too so tracecat can
+		// overlay alerts on the run timeline.
+		s.Sampler = history.New(history.Options{
+			Registry: reg,
+			Every:    f.StatsEvery,
+			Observer: obs.Multi(sinks...),
+			Profiles: s.Profiles,
+		})
+		s.Sampler.Start()
+		if s.Debug != nil {
+			s.Debug.Handle("GET /v1/stats", history.StatsHandler(s.Sampler))
+			s.Debug.Handle("GET /v1/alerts", history.AlertsHandler(s.Sampler))
+		}
+		s.statsStop = make(chan struct{})
+		s.statsDone = make(chan struct{})
+		go s.statsLoop(reg, f.StatsEvery)
 	}
 	s.Observer = obs.Multi(observers...)
 	if f.SlowSpan > 0 && s.Observer != nil {
@@ -192,14 +253,55 @@ func (f *ObserverFlags) Setup(name string, reg *obs.Registry) (*Stack, error) {
 	return s, nil
 }
 
-// Close stops the watchdog, drains the journal to disk, converts the
-// -trace-out timeline, and gracefully stops the debug server (bounded
-// wait for in-flight scrapes).
+// statsLoop prints a one-line telemetry summary to stderr every interval
+// — enough to watch a long training run from a terminal without a debug
+// server. The history sampler (always running when the loop is) keeps
+// the go.* runtime gauges fresh.
+func (s *Stack) statsLoop(reg *obs.Registry, every time.Duration) {
+	defer close(s.statsDone)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	iters := reg.Counter("train.iterations")
+	loss := reg.Gauge("train.loss")
+	eps := reg.Gauge("train.epsilon_spent")
+	goroutines := reg.Gauge("go.goroutines")
+	heap := reg.Gauge("go.heap_bytes")
+	open := reg.Gauge("span.open")
+	alerts := reg.Gauge("alert.active")
+	for {
+		select {
+		case <-s.statsStop:
+			return
+		case <-tick.C:
+			fmt.Fprintf(os.Stderr,
+				"%s: stats iter=%d loss=%.4g eps=%.4g goroutines=%d heap=%.1fMB spans_open=%d alerts=%d\n",
+				s.name, iters.Value(), loss.Value(), eps.Value(),
+				int(goroutines.Value()), heap.Value()/(1<<20),
+				int(open.Value()), int(alerts.Value()))
+		}
+	}
+}
+
+// Close stops the stats loop and history sampler, stops the watchdog,
+// drains the journal to disk, converts the -trace-out timeline, waits
+// for in-flight profile captures, and gracefully stops the debug server
+// (bounded wait for in-flight scrapes).
 func (s *Stack) Close() {
+	if s.statsStop != nil {
+		close(s.statsStop)
+		<-s.statsDone
+		s.statsStop, s.statsDone = nil, nil
+	}
+	if s.Sampler != nil {
+		// Before the journal drain below: the final tick may resolve alerts
+		// whose events belong in the journal.
+		s.Sampler.Close()
+	}
 	if s.watchdog != nil {
 		s.watchdog.Close()
 		s.watchdog = nil
 	}
+	s.Profiles.Wait()
 	s.closeJournal()
 	s.writeTrace()
 	if s.Debug != nil {

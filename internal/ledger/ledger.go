@@ -354,6 +354,33 @@ func (l *Ledger) Balances(tenant string) []Balance {
 	return out
 }
 
+// PublishPositions emits one synthetic LedgerOp (Op "sync") per tenant
+// with the current committed/reserved totals. Replay does not emit
+// events, so after a restart the per-tenant gauges (and any burn-rate
+// history built on them) would otherwise start from zero and misread
+// the first post-restart commit as the whole balance; the serve layer
+// calls this once at startup to seed the baselines. Tenants are emitted
+// in sorted order, keeping the resulting metric creation deterministic.
+func (l *Ledger) PublishPositions() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.Observer == nil {
+		return
+	}
+	tenants := make(map[string]bool, len(l.entries))
+	for k := range l.entries {
+		tenants[k.tenant] = true
+	}
+	names := make([]string, 0, len(tenants))
+	for t := range tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		l.emitLocked("sync", t, "", "", 0)
+	}
+}
+
 // --- shared state transitions (runtime ops and replay both run these) ---
 
 func (l *Ledger) applyReserveLocked(rec record) {

@@ -272,3 +272,37 @@ func TestOpenRejectsBadDelta(t *testing.T) {
 		}
 	}
 }
+
+// TestPublishPositions: a replayed ledger re-emits per-tenant positions
+// so observers (the per-tenant gauges, burn-rate history) start from the
+// persisted balance instead of zero.
+func TestPublishPositions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l1 := mustOpen(t, Options{Budget: 10, Path: path})
+	l1.Commit("j1", "a", fpA, Charge{Epsilon: 2})
+	l1.Commit("j2", "b", fpA, Charge{Epsilon: 0.5})
+
+	var ops []obs.LedgerOp
+	l2 := mustOpen(t, Options{Budget: 10, Path: path, Observer: obs.ObserverFunc(func(e obs.Event) {
+		if op, ok := e.(obs.LedgerOp); ok {
+			ops = append(ops, op)
+		}
+	})})
+	if len(ops) != 0 {
+		t.Fatalf("replay itself emitted %d events, want 0", len(ops))
+	}
+	l2.PublishPositions()
+	if len(ops) != 2 {
+		t.Fatalf("PublishPositions emitted %d events, want one per tenant: %+v", len(ops), ops)
+	}
+	// Sorted tenant order, committed totals from the replayed state.
+	if ops[0].Tenant != "a" || ops[0].Op != "sync" || ops[0].Committed != 2 {
+		t.Fatalf("ops[0] = %+v", ops[0])
+	}
+	if ops[1].Tenant != "b" || ops[1].Committed != 0.5 {
+		t.Fatalf("ops[1] = %+v", ops[1])
+	}
+
+	// No observer: a safe no-op.
+	l1.PublishPositions()
+}

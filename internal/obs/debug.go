@@ -21,6 +21,7 @@ import (
 // (Close) instead of leaking the listener until process exit.
 type DebugServer struct {
 	srv  *http.Server
+	mux  *http.ServeMux
 	addr string
 }
 
@@ -51,6 +52,7 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 	}
 	d := &DebugServer{
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		mux:  mux,
 		addr: ln.Addr().String(),
 	}
 	go d.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Shutdown/Close
@@ -59,6 +61,12 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 
 // Addr returns the address the server is listening on.
 func (d *DebugServer) Addr() string { return d.addr }
+
+// Handle registers an extra handler on the debug mux — used to mount the
+// history sampler's /v1/stats and /v1/alerts views next to pprof.
+// ServeMux registration is safe while the server is running; registering
+// a pattern twice panics, so owners mount each route exactly once.
+func (d *DebugServer) Handle(pattern string, h http.Handler) { d.mux.Handle(pattern, h) }
 
 // Shutdown gracefully drains the server: the listener closes at once,
 // in-flight scrapes finish (pprof profile captures can run for seconds),

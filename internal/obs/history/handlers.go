@@ -1,0 +1,70 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// StatsHandler serves windowed time-series queries over the sampler:
+//
+//	GET /v1/stats                              → {"metrics":[...keys]}
+//	GET /v1/stats?metric=K[&window=5m]         → {"series":[{metric,points,min,max,rate_per_sec}]}
+//
+// metric matches an exact series key or a label-stripped base (so
+// "ledger.epsilon_committed" returns one series per tenant). window is a
+// Go duration; omitted or 0 returns everything retained.
+func StatsHandler(s *Sampler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			jsonError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		metric := req.URL.Query().Get("metric")
+		if metric == "" {
+			writeJSON(w, map[string]any{"metrics": s.Keys()})
+			return
+		}
+		var window time.Duration
+		if ws := req.URL.Query().Get("window"); ws != "" {
+			var err error
+			if window, err = time.ParseDuration(ws); err != nil {
+				jsonError(w, http.StatusBadRequest, "bad window: "+err.Error())
+				return
+			}
+		}
+		series := s.Query(metric, window, time.Now())
+		if series == nil {
+			series = []Series{}
+		}
+		writeJSON(w, map[string]any{"series": series})
+	})
+}
+
+// AlertsHandler serves the alert engine's state:
+//
+//	GET /v1/alerts → {"active":[...], "recent":[...]}
+//
+// active holds currently firing alerts; recent is the bounded episode
+// history, oldest first, with resolved_at_ns set once an episode ends.
+func AlertsHandler(s *Sampler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			jsonError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		active, recent := s.Alerts()
+		writeJSON(w, map[string]any{"active": active, "recent": recent})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

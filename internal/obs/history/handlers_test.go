@@ -1,0 +1,92 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"privim/internal/obs"
+)
+
+func TestStatsHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{Registry: reg, Every: time.Second, Capacity: 8})
+	reg.Gauge("x.y").Set(3)
+	// Real timestamps: the handler windows against time.Now().
+	s.Tick(time.Now().Add(-time.Second))
+	s.Tick(time.Now())
+	h := StatsHandler(s)
+
+	// Discovery listing.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	var listing struct {
+		Metrics []string `json:"metrics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range listing.Metrics {
+		if m == "x.y" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("listing %v missing x.y", listing.Metrics)
+	}
+
+	// Windowed series.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats?metric=x.y&window=1h", nil))
+	var got struct {
+		Series []Series `json:"series"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 1 || len(got.Series[0].Points) != 2 {
+		t.Fatalf("series = %+v, want 1 series with 2 points", got.Series)
+	}
+
+	// Unknown metric → empty array, not null, not an error.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats?metric=nope", nil))
+	if rec.Code != 200 {
+		t.Fatalf("unknown metric status = %d", rec.Code)
+	}
+	if body := rec.Body.String(); body == "" || body[0] != '{' {
+		t.Fatalf("unknown metric body = %q", body)
+	}
+
+	// Bad window → 400.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats?metric=x.y&window=banana", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad window status = %d, want 400", rec.Code)
+	}
+}
+
+func TestAlertsHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{
+		Registry: reg, Every: time.Second, Capacity: 8,
+		Rules: []Rule{{Name: "r", Metric: "m", Kind: Threshold, Value: 1}},
+	})
+	reg.Gauge("m").Set(9)
+	clk := newClock()
+	s.Tick(clk.tick(time.Second))
+	rec := httptest.NewRecorder()
+	AlertsHandler(s).ServeHTTP(rec, httptest.NewRequest("GET", "/v1/alerts", nil))
+	var got struct {
+		Active []Alert `json:"active"`
+		Recent []Alert `json:"recent"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Active) != 1 || got.Active[0].Rule != "r" || len(got.Recent) != 1 {
+		t.Fatalf("alerts = %+v", got)
+	}
+}

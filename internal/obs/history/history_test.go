@@ -1,0 +1,374 @@
+package history
+
+import (
+	"testing"
+	"time"
+
+	"privim/internal/obs"
+)
+
+// tick advances a fake clock by step per call so tests control time.
+type clock struct {
+	t time.Time
+}
+
+func newClock() *clock { return &clock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *clock) tick(step time.Duration) time.Time {
+	c.t = c.t.Add(step)
+	return c.t
+}
+
+func TestRingWrapAndWindow(t *testing.T) {
+	r := newRing(4)
+	for i := int64(1); i <= 6; i++ {
+		r.push(i, float64(i))
+	}
+	if r.n != 4 {
+		t.Fatalf("n = %d, want 4", r.n)
+	}
+	// Oldest two (t=1,2) were overwritten.
+	got := r.window(0, nil)
+	want := []Point{{3, 3}, {4, 4}, {5, 5}, {6, 6}}
+	if len(got) != len(want) {
+		t.Fatalf("window = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := r.window(5, nil); len(got) != 2 || got[0].T != 5 {
+		t.Fatalf("window(5) = %v, want points at t=5,6", got)
+	}
+	first, last, ok := r.bounds(4)
+	if !ok || first.T != 4 || last.T != 6 {
+		t.Fatalf("bounds(4) = %v %v %v, want t=4..6", first, last, ok)
+	}
+	if _, _, ok := r.bounds(6); ok {
+		t.Fatal("bounds with a single in-window point should report !ok")
+	}
+}
+
+func TestSamplerSeriesAndQuery(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{Registry: reg, Every: time.Second, Capacity: 16})
+	c := reg.Counter("test.count")
+	g := reg.Gauge(obs.Labeled("test.gauge", "tenant", "a"))
+	h := reg.Histogram("test.hist")
+
+	clk := newClock()
+	for i := 0; i < 5; i++ {
+		c.Add(2)
+		g.Set(float64(i))
+		h.Observe(float64(100 * (i + 1)))
+		s.Tick(clk.tick(time.Second))
+	}
+
+	series := s.Query("test.count", 0, clk.t)
+	if len(series) != 1 || len(series[0].Points) != 5 {
+		t.Fatalf("test.count query = %+v, want 1 series with 5 points", series)
+	}
+	if se := series[0]; se.Min != 2 || se.Max != 10 {
+		t.Fatalf("min/max = %v/%v, want 2/10", se.Min, se.Max)
+	}
+	// 2→10 over 4 s = 2/s.
+	if se := series[0]; se.Rate != 2 {
+		t.Fatalf("rate = %v, want 2", se.Rate)
+	}
+
+	// Base-name matching finds the labeled gauge.
+	series = s.Query("test.gauge", 0, clk.t)
+	if len(series) != 1 || series[0].Metric != `test.gauge{tenant="a"}` {
+		t.Fatalf("base-name query = %+v, want the labeled series", series)
+	}
+
+	// Histograms expand into count/p50/p95/p99 derived series.
+	for _, key := range []string{"test.hist.count", "test.hist.p50", "test.hist.p99"} {
+		if got := s.Query(key, 0, clk.t); len(got) != 1 || len(got[0].Points) == 0 {
+			t.Fatalf("query(%s) = %+v, want a non-empty series", key, got)
+		}
+	}
+
+	// Windowing trims to the trailing interval.
+	series = s.Query("test.count", 2*time.Second, clk.t)
+	if len(series) != 1 || len(series[0].Points) != 3 {
+		t.Fatalf("2s window = %+v, want 3 points (t-2s..t inclusive)", series)
+	}
+
+	keys := s.Keys()
+	if len(keys) == 0 {
+		t.Fatal("Keys() empty")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Keys() not sorted: %q before %q", keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestSamplerRuntimeMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{Registry: reg, Every: time.Second, Capacity: 8})
+	clk := newClock()
+	s.Tick(clk.tick(time.Second))
+	s.Tick(clk.tick(time.Second))
+	for _, key := range []string{"go.goroutines", "go.heap_bytes"} {
+		series := s.Query(key, 0, clk.t)
+		if len(series) != 1 || len(series[0].Points) == 0 {
+			t.Fatalf("runtime metric %s missing from history: %+v", key, series)
+		}
+		if series[0].Points[len(series[0].Points)-1].V <= 0 {
+			t.Fatalf("runtime metric %s sampled as %v, want > 0", key, series[0].Points)
+		}
+	}
+}
+
+func TestThresholdRuleFiresAndResolves(t *testing.T) {
+	reg := obs.NewRegistry()
+	var events []obs.Event
+	sink := obs.ObserverFunc(func(e obs.Event) { events = append(events, e) })
+	s := New(Options{
+		Registry: reg, Every: time.Second, Capacity: 8,
+		Rules:    []Rule{{Name: "depth", Metric: "q.depth", Kind: Threshold, Value: 5}},
+		Observer: sink,
+	})
+	g := reg.Gauge("q.depth")
+	clk := newClock()
+
+	g.Set(3)
+	s.Tick(clk.tick(time.Second))
+	if active, _ := s.Alerts(); len(active) != 0 {
+		t.Fatalf("below threshold: active = %+v", active)
+	}
+
+	g.Set(7)
+	s.Tick(clk.tick(time.Second))
+	active, recent := s.Alerts()
+	if len(active) != 1 || active[0].Rule != "depth" || active[0].Value != 7 {
+		t.Fatalf("above threshold: active = %+v", active)
+	}
+	if len(recent) != 1 || recent[0].ResolvedAt != 0 {
+		t.Fatalf("recent = %+v, want one unresolved episode", recent)
+	}
+
+	g.Set(2)
+	s.Tick(clk.tick(time.Second))
+	active, recent = s.Alerts()
+	if len(active) != 0 {
+		t.Fatalf("after drop: active = %+v", active)
+	}
+	if len(recent) != 1 || recent[0].ResolvedAt == 0 {
+		t.Fatalf("after drop: recent = %+v, want resolved episode", recent)
+	}
+
+	var fired, resolved int
+	for _, e := range events {
+		switch e.(type) {
+		case obs.AlertFired:
+			fired++
+		case obs.AlertResolved:
+			resolved++
+		}
+	}
+	if fired != 1 || resolved != 1 {
+		t.Fatalf("events: %d fired, %d resolved, want 1/1", fired, resolved)
+	}
+	// The registry aggregated the same events.
+	if got := reg.Counter("alert.fired").Value(); got != 1 {
+		t.Fatalf("alert.fired counter = %d, want 1", got)
+	}
+	if got := reg.Gauge("alert.active").Value(); got != 0 {
+		t.Fatalf("alert.active gauge = %v, want 0", got)
+	}
+}
+
+func TestDeltaRule(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{
+		Registry: reg, Every: time.Second, Capacity: 32,
+		Rules: []Rule{{Name: "growth", Metric: "heap", Kind: Delta, Value: 100, Window: Duration(10 * time.Second)}},
+	})
+	g := reg.Gauge("heap")
+	clk := newClock()
+	for v := 0.0; v <= 50; v += 10 {
+		g.Set(v)
+		s.Tick(clk.tick(time.Second))
+	}
+	if active, _ := s.Alerts(); len(active) != 0 {
+		t.Fatalf("slow growth fired: %+v", active)
+	}
+	g.Set(200)
+	s.Tick(clk.tick(time.Second))
+	if active, _ := s.Alerts(); len(active) != 1 {
+		t.Fatal("fast growth did not fire")
+	}
+}
+
+func TestBurnRateRulePerTenant(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Budget 100 over 100 s → sustainable 1/s; multiple 2 → fires at 2/s.
+	s := New(Options{
+		Registry: reg, Every: time.Second, Capacity: 32,
+		Rules: []Rule{{
+			Name: "burn", Metric: "eps", Kind: BurnRate,
+			Value: 2, Window: Duration(10 * time.Second),
+			Budget: 100, Horizon: Duration(100 * time.Second),
+		}},
+	})
+	slow := reg.Gauge(obs.Labeled("eps", "tenant", "slow"))
+	fast := reg.Gauge(obs.Labeled("eps", "tenant", "fast"))
+	clk := newClock()
+	for i := 0; i < 6; i++ {
+		slow.Add(1) // 1/s: exactly sustainable, below the 2× multiple
+		fast.Add(5) // 5/s: 5× sustainable
+		s.Tick(clk.tick(time.Second))
+	}
+	active, _ := s.Alerts()
+	if len(active) != 1 {
+		t.Fatalf("active = %+v, want exactly the fast tenant", active)
+	}
+	if active[0].Metric != `eps{tenant="fast"}` {
+		t.Fatalf("fired on %q, want the fast tenant's series", active[0].Metric)
+	}
+	if active[0].Value < 2 {
+		t.Fatalf("burn multiple = %v, want ≥ 2", active[0].Value)
+	}
+
+	// The fast tenant stops spending; the rate decays out of the window
+	// and the alert resolves.
+	for i := 0; i < 15; i++ {
+		s.Tick(clk.tick(time.Second))
+	}
+	if active, _ := s.Alerts(); len(active) != 0 {
+		t.Fatalf("after spend stops: active = %+v, want resolved", active)
+	}
+}
+
+func TestRuleMatchesHistogramQuantileSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{
+		Registry: reg, Every: time.Second, Capacity: 8,
+		Rules: []Rule{{Name: "p99", Metric: "lat.p99", Kind: Threshold, Value: 1000}},
+	})
+	h := reg.Histogram(obs.Labeled("lat", "route", "GET /x"))
+	clk := newClock()
+	h.Observe(10)
+	s.Tick(clk.tick(time.Second))
+	if active, _ := s.Alerts(); len(active) != 0 {
+		t.Fatalf("fast p99 fired: %+v", active)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(5000)
+	}
+	s.Tick(clk.tick(time.Second))
+	active, _ := s.Alerts()
+	if len(active) != 1 {
+		t.Fatal("slow p99 did not fire")
+	}
+	if active[0].Metric != `lat{route="GET /x"}.p99` {
+		t.Fatalf("fired on %q, want the labeled p99 series", active[0].Metric)
+	}
+}
+
+func TestLateMetricBindsToRule(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{
+		Registry: reg, Every: time.Second, Capacity: 8,
+		Rules: []Rule{{Name: "late", Metric: "later.gauge", Kind: Threshold, Value: 1}},
+	})
+	clk := newClock()
+	s.Tick(clk.tick(time.Second)) // rule has no target yet
+	reg.Gauge("later.gauge").Set(5)
+	s.Tick(clk.tick(time.Second)) // refresh binds it, then fires
+	if active, _ := s.Alerts(); len(active) != 1 {
+		t.Fatal("rule did not bind to a metric created after New")
+	}
+}
+
+func TestStartCloseLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("x").Set(1)
+	s := New(Options{Registry: reg, Every: time.Millisecond, Capacity: 64})
+	s.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if series := s.Query("x", 0, time.Now()); len(series) == 1 && len(series[0].Points) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler goroutine produced no points")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	s.Close() // idempotent
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules([]byte(`[
+		{"name":"a","metric":"m","value":3},
+		{"name":"b","metric":"m","kind":"delta","value":10,"window":"30s"},
+		{"name":"c","metric":"m","kind":"burn_rate","value":2,"window":"5m","budget":4,"horizon":"1h"}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules[0].Kind != Threshold || rules[0].Op != ">=" {
+		t.Fatalf("defaults not applied: %+v", rules[0])
+	}
+	if rules[1].Window.D() != 30*time.Second {
+		t.Fatalf("window = %v, want 30s", rules[1].Window.D())
+	}
+	if rules[2].Horizon.D() != time.Hour {
+		t.Fatalf("horizon = %v, want 1h", rules[2].Horizon.D())
+	}
+
+	for _, bad := range []string{
+		`[{"metric":"m","value":1}]`,                               // no name
+		`[{"name":"x","value":1}]`,                                 // no metric
+		`[{"name":"x","metric":"m","kind":"nope","value":1}]`,      // bad kind
+		`[{"name":"x","metric":"m","op":"==","value":1}]`,          // bad op
+		`[{"name":"x","metric":"m","kind":"burn_rate","value":1}]`, // no budget
+		`not json`,
+	} {
+		if _, err := ParseRules([]byte(bad)); err == nil {
+			t.Fatalf("ParseRules(%s) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestDefaultServeRules(t *testing.T) {
+	rules := DefaultServeRules(4, 100)
+	names := map[string]bool{}
+	for i := range rules {
+		if err := rules[i].Validate(); err != nil {
+			t.Fatalf("default rule %q invalid: %v", rules[i].Name, err)
+		}
+		names[rules[i].Name] = true
+	}
+	for _, want := range []string{"tenant-epsilon-burn", "job-queue-depth", "route-p99-latency", "heap-growth"} {
+		if !names[want] {
+			t.Fatalf("default rules missing %q (have %v)", want, names)
+		}
+	}
+	// No budget, no queue → those two rules drop out.
+	if got := DefaultServeRules(0, 0); len(got) != len(rules)-2 {
+		t.Fatalf("DefaultServeRules(0,0) = %d rules, want %d", len(got), len(rules)-2)
+	}
+}
+
+func TestStripLabels(t *testing.T) {
+	cases := map[string]string{
+		"plain":                   "plain",
+		`g{tenant="a"}`:           "g",
+		`lat{route="GET /x"}.p99`: "lat.p99",
+		`weird{a="}"}`:            "weird",
+		"unclosed{oops":           "unclosed{oops",
+	}
+	for in, want := range cases {
+		if got := stripLabels(in); got != want {
+			t.Fatalf("stripLabels(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package history
+
+const raceEnabled = false

@@ -1,0 +1,186 @@
+package history
+
+import (
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privim/internal/obs"
+)
+
+// ProfileOptions configures a ProfileRing.
+type ProfileOptions struct {
+	// Dir receives the profile files; created if missing.
+	Dir string
+	// Keep bounds the ring to the newest Keep capture pairs (CPU + heap);
+	// older files are pruned after each capture. Default 8.
+	Keep int
+	// CPUDuration is how long each CPU profile records. Default 250ms.
+	CPUDuration time.Duration
+	// Logf reports capture failures (a full disk must not take down the
+	// alerting path). Optional.
+	Logf func(format string, args ...any)
+}
+
+// ProfileRing captures pprof CPU+heap profile pairs into a bounded
+// on-disk ring when something fires — an alert rule or a slow-span
+// watchdog event. Captures run asynchronously (a CPU profile blocks for
+// CPUDuration); at most one capture is in flight at a time, since the Go
+// runtime supports a single CPU profile per process, and a storm of
+// firing rules must not queue minutes of profiling. The heap-profile
+// path is returned synchronously so the triggering alert can reference
+// its artifact immediately.
+type ProfileRing struct {
+	opts ProfileOptions
+	busy atomic.Bool
+	seq  atomic.Uint64
+	wg   sync.WaitGroup
+}
+
+// NewProfileRing creates the directory and returns the ring.
+func NewProfileRing(opts ProfileOptions) (*ProfileRing, error) {
+	if opts.Keep <= 0 {
+		opts.Keep = 8
+	}
+	if opts.CPUDuration <= 0 {
+		opts.CPUDuration = 250 * time.Millisecond
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &ProfileRing{opts: opts}, nil
+}
+
+// Capture starts an asynchronous CPU+heap capture tagged with reason and
+// returns the heap-profile path the capture will write (the heap write
+// is near-instant and always valid; the CPU profile lands next to it
+// after CPUDuration, best-effort). Returns "" when a capture is already
+// in flight.
+func (p *ProfileRing) Capture(reason string) string {
+	if p == nil {
+		return ""
+	}
+	if !p.busy.CompareAndSwap(false, true) {
+		return ""
+	}
+	stamp := time.Now().UTC().Format("20060102T150405.000")
+	tag := stamp + "-" + sanitize(reason)
+	if n := p.seq.Add(1); n > 1 {
+		// The stamp has millisecond resolution; the sequence keeps names
+		// unique (and sort-stable) under faster firing.
+		tag = stamp + "." + strconv.FormatUint(n, 10) + "-" + sanitize(reason)
+	}
+	heapPath := filepath.Join(p.opts.Dir, tag+".heap.pprof")
+	cpuPath := filepath.Join(p.opts.Dir, tag+".cpu.pprof")
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer p.busy.Store(false)
+		p.writeHeap(heapPath)
+		p.writeCPU(cpuPath)
+		p.prune()
+	}()
+	return heapPath
+}
+
+// Wait blocks until any in-flight capture finishes — tests and shutdown.
+func (p *ProfileRing) Wait() {
+	if p != nil {
+		p.wg.Wait()
+	}
+}
+
+func (p *ProfileRing) logf(format string, args ...any) {
+	if p.opts.Logf != nil {
+		p.opts.Logf(format, args...)
+	}
+}
+
+func (p *ProfileRing) writeHeap(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		p.logf("history: heap profile: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		p.logf("history: heap profile: %v", err)
+	}
+}
+
+func (p *ProfileRing) writeCPU(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		p.logf("history: cpu profile: %v", err)
+		return
+	}
+	defer f.Close()
+	// StartCPUProfile fails when another profiler (a /debug/pprof/profile
+	// scrape) already runs; drop the empty file rather than leave an
+	// unparseable artifact.
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		p.logf("history: cpu profile: %v", err)
+		return
+	}
+	time.Sleep(p.opts.CPUDuration)
+	pprof.StopCPUProfile()
+}
+
+// prune keeps the newest Keep capture pairs (2×Keep files, counting both
+// the .cpu and .heap of a pair). Filenames start with a UTC timestamp,
+// so lexical order is chronological.
+func (p *ProfileRing) prune() {
+	matches, err := filepath.Glob(filepath.Join(p.opts.Dir, "*.pprof"))
+	if err != nil {
+		return
+	}
+	max := 2 * p.opts.Keep
+	if len(matches) <= max {
+		return
+	}
+	sort.Strings(matches)
+	for _, old := range matches[:len(matches)-max] {
+		if err := os.Remove(old); err != nil {
+			p.logf("history: pruning %s: %v", old, err)
+		}
+	}
+}
+
+// CaptureOnSlowSpan returns an Observer that triggers a capture whenever
+// a SlowSpanWatchdog reports a span over budget — place it downstream of
+// the watchdog in the observer chain.
+func (p *ProfileRing) CaptureOnSlowSpan() obs.Observer {
+	return obs.ObserverFunc(func(e obs.Event) {
+		if _, ok := e.(obs.SpanSlow); ok {
+			p.Capture("slow-span")
+		}
+	})
+}
+
+// sanitize maps reason to a filename-safe tag.
+func sanitize(s string) string {
+	if s == "" {
+		return "manual"
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package history
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"privim/internal/obs"
+)
+
+func TestProfileRingCaptureAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfileRing(ProfileOptions{Dir: dir, Keep: 2, CPUDuration: 10 * time.Millisecond, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var heaps []string
+	for i := 0; i < 5; i++ {
+		path := p.Capture("test-reason")
+		if path == "" {
+			t.Fatalf("capture %d rejected (busy should have cleared after Wait)", i)
+		}
+		heaps = append(heaps, path)
+		p.Wait()
+	}
+	// The returned path is the heap profile of its capture, on disk and
+	// non-empty for the retained captures.
+	last := heaps[len(heaps)-1]
+	if !strings.HasSuffix(last, ".heap.pprof") {
+		t.Fatalf("capture path %q, want *.heap.pprof", last)
+	}
+	if fi, err := os.Stat(last); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile %q: err=%v", last, err)
+	}
+	// Keep=2 bounds the ring to 2 pairs = 4 files.
+	files, _ := filepath.Glob(filepath.Join(dir, "*.pprof"))
+	if len(files) > 4 {
+		t.Fatalf("ring holds %d files after prune, want ≤ 4: %v", len(files), files)
+	}
+	// The oldest heap profile was pruned.
+	if _, err := os.Stat(heaps[0]); !os.IsNotExist(err) {
+		t.Fatalf("oldest capture %q should be pruned, stat err = %v", heaps[0], err)
+	}
+}
+
+func TestProfileRingBusyRejects(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfileRing(ProfileOptions{Dir: dir, CPUDuration: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := p.Capture("one")
+	if first == "" {
+		t.Fatal("first capture rejected")
+	}
+	if second := p.Capture("two"); second != "" {
+		t.Fatalf("concurrent capture accepted: %q", second)
+	}
+	p.Wait()
+}
+
+func TestCaptureOnSlowSpan(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfileRing(ProfileOptions{Dir: dir, CPUDuration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := p.CaptureOnSlowSpan()
+	o.Emit(obs.SpanSlow{Span: "train", Elapsed: time.Second, Threshold: time.Millisecond})
+	o.Emit(obs.SpanStart{Span: "ignored"}) // non-slow events must not capture
+	p.Wait()
+	files, _ := filepath.Glob(filepath.Join(dir, "*slow-span*.pprof"))
+	if len(files) != 2 {
+		t.Fatalf("slow-span capture produced %d files, want a cpu+heap pair: %v", len(files), files)
+	}
+}
+
+func TestNilProfileRingIsNoop(t *testing.T) {
+	var p *ProfileRing
+	if got := p.Capture("x"); got != "" {
+		t.Fatalf("nil ring capture = %q, want \"\"", got)
+	}
+	p.Wait()
+}
+
+func TestAlertFireCapturesProfile(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfileRing(ProfileOptions{Dir: dir, CPUDuration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := New(Options{
+		Registry: reg, Every: time.Second, Capacity: 8,
+		Rules:    []Rule{{Name: "hot", Metric: "v", Kind: Threshold, Value: 1}},
+		Profiles: p,
+	})
+	reg.Gauge("v").Set(5)
+	clk := newClock()
+	s.Tick(clk.tick(time.Second))
+	active, _ := s.Alerts()
+	if len(active) != 1 {
+		t.Fatal("rule did not fire")
+	}
+	if active[0].Profile == "" {
+		t.Fatal("fired alert carries no profile path")
+	}
+	p.Wait()
+	if fi, err := os.Stat(active[0].Profile); err != nil || fi.Size() == 0 {
+		t.Fatalf("profile artifact %q: err=%v", active[0].Profile, err)
+	}
+}

@@ -1,0 +1,334 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"privim/internal/obs"
+)
+
+// RuleKind selects the evaluation form of a Rule.
+type RuleKind string
+
+// The three rule forms.
+const (
+	// Threshold fires while the series' latest value crosses Value.
+	Threshold RuleKind = "threshold"
+	// Delta fires while the change across the trailing Window crosses
+	// Value — absolute growth (heap bytes, queue depth), not a rate.
+	Delta RuleKind = "delta"
+	// BurnRate fires while the observed consumption rate over Window
+	// exceeds Value × the sustainable rate Budget/Horizon — the classic
+	// SLO burn-rate alert, applied here to privacy budget: with Budget ε
+	// meant to last Horizon, a multiple of 1 means the tenant is spending
+	// exactly fast enough to exhaust it on schedule; 14 means exhaustion
+	// in Horizon/14.
+	BurnRate RuleKind = "burn_rate"
+)
+
+// Duration is a time.Duration that unmarshals from either a Go duration
+// string ("5m", "1h30m") or a nanosecond number, so rule files stay
+// human-writable.
+type Duration time.Duration
+
+// D converts back to time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "5m"-style strings or nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return err
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return err
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Rule is one alert rule. Metric matches a series by exact key or by
+// label-stripped base, so "ledger.epsilon_committed" matches every
+// tenant's labeled gauge and each (rule, series) pair alerts
+// independently.
+type Rule struct {
+	// Name identifies the rule in alerts and events.
+	Name string `json:"name"`
+	// Metric is the series key or label-stripped base to watch.
+	Metric string `json:"metric"`
+	// Kind selects the evaluation form; default "threshold".
+	Kind RuleKind `json:"kind,omitempty"`
+	// Op is ">=" (default) or "<=", for threshold and delta forms.
+	Op string `json:"op,omitempty"`
+	// Value is the threshold, the delta bound, or the burn-rate multiple.
+	Value float64 `json:"value"`
+	// Window is the trailing lookback for delta and burn_rate. Default 5m.
+	Window Duration `json:"window,omitempty"`
+	// Budget and Horizon define the sustainable rate for burn_rate:
+	// Budget units spread evenly over Horizon.
+	Budget  float64  `json:"budget,omitempty"`
+	Horizon Duration `json:"horizon,omitempty"`
+}
+
+// Validate normalizes defaults and rejects unusable rules.
+func (r *Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("history: rule missing name")
+	}
+	if r.Metric == "" {
+		return fmt.Errorf("history: rule %q missing metric", r.Name)
+	}
+	if r.Kind == "" {
+		r.Kind = Threshold
+	}
+	switch r.Kind {
+	case Threshold, Delta, BurnRate:
+	default:
+		return fmt.Errorf("history: rule %q: unknown kind %q", r.Name, r.Kind)
+	}
+	switch r.Op {
+	case "":
+		r.Op = ">="
+	case ">=", "<=":
+	default:
+		return fmt.Errorf("history: rule %q: op must be \">=\" or \"<=\", got %q", r.Name, r.Op)
+	}
+	if r.Window <= 0 {
+		r.Window = Duration(5 * time.Minute)
+	}
+	if r.Kind == BurnRate {
+		if r.Budget <= 0 || r.Horizon <= 0 {
+			return fmt.Errorf("history: burn_rate rule %q needs budget > 0 and horizon > 0", r.Name)
+		}
+		if r.Value <= 0 {
+			r.Value = 1
+		}
+	}
+	return nil
+}
+
+// ParseRules decodes a JSON array of rules and validates each.
+func ParseRules(data []byte) ([]Rule, error) {
+	var rules []Rule
+	if err := json.Unmarshal(data, &rules); err != nil {
+		return nil, fmt.Errorf("history: parsing rules: %w", err)
+	}
+	for i := range rules {
+		if err := rules[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return rules, nil
+}
+
+// LoadRules reads a rule file (a JSON array of Rule objects).
+func LoadRules(path string) ([]Rule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseRules(data)
+}
+
+// DefaultServeRules is the built-in rule set the serve layer installs:
+// per-tenant ε burn-rate (when a budget is configured), job-queue depth,
+// per-route p99 request latency, and heap growth. budget is the
+// per-tenant ε budget (0 disables the burn-rate rule) and queueCap the
+// job-queue capacity (0 disables the depth rule).
+func DefaultServeRules(budget float64, queueCap int) []Rule {
+	var rules []Rule
+	if budget > 0 {
+		rules = append(rules, Rule{
+			Name:   "tenant-epsilon-burn",
+			Metric: "ledger.epsilon_committed",
+			Kind:   BurnRate,
+			Value:  1,
+			Window: Duration(5 * time.Minute),
+			Budget: budget, Horizon: Duration(time.Hour),
+		})
+	}
+	if queueCap > 0 {
+		rules = append(rules, Rule{
+			Name:   "job-queue-depth",
+			Metric: "serve.jobs.queued",
+			Kind:   Threshold,
+			Value:  0.8 * float64(queueCap),
+		})
+	}
+	rules = append(rules,
+		Rule{
+			Name:   "route-p99-latency",
+			Metric: "serve.http.latency_us.p99",
+			Kind:   Threshold,
+			Value:  2e6, // 2 s
+		},
+		Rule{
+			Name:   "heap-growth",
+			Metric: "go.heap_bytes",
+			Kind:   Delta,
+			Value:  256 << 20, // 256 MiB over the window
+			Window: Duration(5 * time.Minute),
+		},
+	)
+	return rules
+}
+
+// Alert is one fire→resolve episode, served by /v1/alerts.
+type Alert struct {
+	Rule       string  `json:"rule"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+	Threshold  float64 `json:"threshold"`
+	FiredAt    int64   `json:"fired_at_ns"`
+	ResolvedAt int64   `json:"resolved_at_ns,omitempty"`
+	Profile    string  `json:"profile,omitempty"`
+}
+
+// alertState is the engine's per-(rule, series) evaluation state. The
+// states slice is rebuilt only on registry refresh; firing episodes
+// survive a rebuild keyed by rule name + series key.
+type alertState struct {
+	rule   *Rule
+	series *series
+	firing bool
+	since  int64
+	open   *Alert // history entry of the in-flight episode
+}
+
+// refreshStatesLocked rebuilds rule → series bindings after the registry
+// gained metrics, carrying over in-flight firing episodes.
+func (s *Sampler) refreshStatesLocked() {
+	prev := make(map[string]alertState, len(s.states))
+	for _, st := range s.states {
+		prev[st.rule.Name+"\x00"+st.series.key] = st
+	}
+	s.states = s.states[:0]
+	for i := range s.opts.Rules {
+		r := &s.opts.Rules[i]
+		for _, sl := range s.slots {
+			for _, sr := range sl.s {
+				if sr == nil {
+					continue
+				}
+				if sr.key != r.Metric && sr.base != r.Metric {
+					continue
+				}
+				st, ok := prev[r.Name+"\x00"+sr.key]
+				if !ok {
+					st = alertState{rule: r, series: sr}
+				}
+				s.states = append(s.states, st)
+			}
+		}
+	}
+}
+
+// observe computes the rule's current value and whether the firing
+// condition holds at tick time t. ok is false when the series lacks the
+// points the form needs (a single sample cannot produce a delta/rate).
+func (st *alertState) observe(t int64) (v float64, firing, ok bool) {
+	r, rg := st.rule, st.series.ring
+	switch r.Kind {
+	case Threshold:
+		if rg.n == 0 {
+			return 0, false, false
+		}
+		v = rg.at(rg.n - 1).V
+	case Delta:
+		first, last, ok2 := rg.bounds(t - int64(r.Window))
+		if !ok2 {
+			return 0, false, false
+		}
+		v = last.V - first.V
+	case BurnRate:
+		first, last, ok2 := rg.bounds(t - int64(r.Window))
+		if !ok2 {
+			return 0, false, false
+		}
+		rate := (last.V - first.V) / (float64(last.T-first.T) / float64(time.Second))
+		sustainable := r.Budget / r.Horizon.D().Seconds()
+		v = rate / sustainable // the burn-rate multiple
+	}
+	if r.Op == "<=" && r.Kind != BurnRate {
+		return v, v <= r.Value, true
+	}
+	return v, v >= r.Value, true
+}
+
+// evalLocked runs every rule state against the just-pushed samples and
+// emits fire/resolve transitions. Quiet evaluation allocates nothing.
+func (s *Sampler) evalLocked(t int64) {
+	for i := range s.states {
+		st := &s.states[i]
+		v, firing, ok := st.observe(t)
+		if !ok || firing == st.firing {
+			continue
+		}
+		if firing {
+			st.firing, st.since = true, t
+			s.active++
+			profile := ""
+			if s.opts.Profiles != nil {
+				profile = s.opts.Profiles.Capture(st.rule.Name)
+			}
+			st.open = &Alert{
+				Rule: st.rule.Name, Metric: st.series.key,
+				Value: v, Threshold: st.rule.Value,
+				FiredAt: t, Profile: profile,
+			}
+			s.recent = append(s.recent, st.open)
+			if len(s.recent) > s.opts.AlertHistory {
+				s.recent = s.recent[len(s.recent)-s.opts.AlertHistory:]
+			}
+			obs.Emit(s.obs, obs.AlertFired{
+				Rule: st.rule.Name, Metric: st.series.key,
+				Value: v, Threshold: st.rule.Value, Profile: profile,
+			})
+			continue
+		}
+		st.firing = false
+		s.active--
+		if st.open != nil {
+			st.open.ResolvedAt = t
+			st.open = nil
+		}
+		obs.Emit(s.obs, obs.AlertResolved{
+			Rule: st.rule.Name, Metric: st.series.key,
+			Value: v, After: time.Duration(t - st.since),
+		})
+	}
+}
+
+// Alerts returns the currently firing alerts and the bounded recent
+// history (newest last). Entries are copies; mutating them is safe.
+func (s *Sampler) Alerts() (active, recent []Alert) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	active = make([]Alert, 0, s.active)
+	for i := range s.states {
+		if st := &s.states[i]; st.firing && st.open != nil {
+			active = append(active, *st.open)
+		}
+	}
+	recent = make([]Alert, len(s.recent))
+	for i, a := range s.recent {
+		recent[i] = *a
+	}
+	return active, recent
+}

@@ -121,6 +121,12 @@ func DecodeRecord(line []byte) (Event, time.Time, error) {
 		ev = &CheckpointRejected{}
 	case LedgerOp{}.EventKind():
 		ev = &LedgerOp{}
+	case Canceled{}.EventKind():
+		ev = &Canceled{}
+	case AlertFired{}.EventKind():
+		ev = &AlertFired{}
+	case AlertResolved{}.EventKind():
+		ev = &AlertResolved{}
 	default:
 		return nil, ts, fmt.Errorf("obs: unknown event kind %q", rec.Kind)
 	}

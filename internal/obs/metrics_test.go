@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestQuantileMonotoneUnderConcurrentObserve drives Observe from many
+// goroutines while a reader repeatedly takes p50/p95/p99 from a single
+// bucket snapshot — the history sampler's access pattern. Each triple
+// must be internally monotone (p50 ≤ p95 ≤ p99) no matter how the
+// writers interleave; run under -race this also exercises the atomic
+// bucket/count/sum paths.
+func TestQuantileMonotoneUnderConcurrentObserve(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(rng.Float64() * 1e6)
+				}
+			}
+		}(int64(w + 1))
+	}
+	for i := 0; i < 2000; i++ {
+		buckets := h.Buckets()
+		p50 := quantile(buckets, 0.50)
+		p95 := quantile(buckets, 0.95)
+		p99 := quantile(buckets, 0.99)
+		if !(p50 <= p95 && p95 <= p99) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("iteration %d: quantiles not monotone: p50=%v p95=%v p99=%v", i, p50, p95, p99)
+		}
+		// Quantile (fresh snapshot per call) must also stay in-range even
+		// while the buckets move underneath.
+		if v := h.Quantile(0.5); v < 0 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("iteration %d: Quantile(0.5) = %v", i, v)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRegistryEntriesSortedStable pins the iteration contract the
+// history sampler and Snapshot depend on: Entries is sorted by name —
+// labeled gauges included — and identical across calls regardless of
+// creation order, so series keys are deterministic across restarts.
+func TestRegistryEntriesSortedStable(t *testing.T) {
+	names := []string{
+		Labeled("ledger.epsilon_committed", "tenant", "zeta"),
+		"train.loss",
+		Labeled("ledger.epsilon_committed", "tenant", "alpha"),
+		"a.first",
+		"zz.last",
+	}
+	// Two registries, metrics created in opposite orders.
+	r1, r2 := NewRegistry(), NewRegistry()
+	for _, n := range names {
+		r1.Gauge(n)
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		r2.Gauge(names[i])
+	}
+	e1 := r1.Entries(nil)
+	e2 := r2.Entries(nil)
+	if len(e1) != len(names) || len(e2) != len(names) {
+		t.Fatalf("entry counts %d/%d, want %d", len(e1), len(e2), len(names))
+	}
+	for i := range e1 {
+		if e1[i].Name != e2[i].Name {
+			t.Fatalf("iteration order depends on creation order: %q vs %q at %d", e1[i].Name, e2[i].Name, i)
+		}
+	}
+	if !sort.SliceIsSorted(e1, func(i, j int) bool { return e1[i].Name < e1[j].Name }) {
+		t.Fatalf("Entries not sorted: %v", entryNames(e1))
+	}
+
+	// Mixed kinds under distinct names stay sorted too.
+	r1.Counter("b.count")
+	r1.Histogram("b.hist")
+	all := r1.Entries(nil)
+	if !sort.SliceIsSorted(all, func(i, j int) bool {
+		if all[i].Name != all[j].Name {
+			return all[i].Name < all[j].Name
+		}
+		return all[i].Kind < all[j].Kind
+	}) {
+		t.Fatalf("mixed-kind Entries not sorted: %v", entryNames(all))
+	}
+}
+
+func entryNames(es []Entry) string {
+	var b strings.Builder
+	for i, e := range es {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.Name)
+	}
+	return b.String()
+}
+
+// TestRegistryVersionAndEntriesReuse checks the change-detection /
+// buffer-reuse contract the sampler's zero-alloc tick builds on.
+func TestRegistryVersionAndEntriesReuse(t *testing.T) {
+	r := NewRegistry()
+	v0 := r.Version()
+	r.Counter("c")
+	if r.Version() == v0 {
+		t.Fatal("creating a metric did not move Version")
+	}
+	v1 := r.Version()
+	r.Counter("c") // get, not create
+	if r.Version() != v1 {
+		t.Fatal("re-resolving an existing metric moved Version")
+	}
+	buf := r.Entries(nil)
+	r.Gauge("g")
+	buf2 := r.Entries(buf)
+	if len(buf2) != 2 {
+		t.Fatalf("Entries after growth = %d, want 2", len(buf2))
+	}
+	// Live handles: the entry sees updates made through the original.
+	r.Counter("c").Add(7)
+	for _, e := range buf2 {
+		if e.Kind == KindCounter && e.Counter.Value() != 7 {
+			t.Fatalf("entry handle stale: %d", e.Counter.Value())
+		}
+	}
+}
+
+// TestRegistryAlertEvents checks the aggregation of alert lifecycle
+// events into alert.fired / alert.resolved / alert.active.
+func TestRegistryAlertEvents(t *testing.T) {
+	r := NewRegistry()
+	r.Emit(AlertFired{Rule: "r1", Metric: "m", Value: 2, Threshold: 1})
+	r.Emit(AlertFired{Rule: "r2", Metric: "m", Value: 3, Threshold: 1})
+	if got := r.Gauge("alert.active").Value(); got != 2 {
+		t.Fatalf("alert.active = %v, want 2", got)
+	}
+	r.Emit(AlertResolved{Rule: "r1", Metric: "m", Value: 0})
+	if got := r.Gauge("alert.active").Value(); got != 1 {
+		t.Fatalf("alert.active after resolve = %v, want 1", got)
+	}
+	if got := r.Counter("alert.fired").Value(); got != 2 {
+		t.Fatalf("alert.fired = %d, want 2", got)
+	}
+	if got := r.Counter("alert.resolved").Value(); got != 1 {
+		t.Fatalf("alert.resolved = %d, want 1", got)
+	}
+}
+
+// TestSampleRuntime checks the runtime/metrics bridge populates the go.*
+// metrics with sane values.
+func TestSampleRuntime(t *testing.T) {
+	r := NewRegistry()
+	r.SampleRuntime()
+	if got := r.Gauge("go.goroutines").Value(); got < 1 {
+		t.Fatalf("go.goroutines = %v, want ≥ 1", got)
+	}
+	if got := r.Gauge("go.heap_bytes").Value(); got <= 0 {
+		t.Fatalf("go.heap_bytes = %v, want > 0", got)
+	}
+	// Histograms exist (they may be empty if no GC ran yet).
+	found := 0
+	for _, e := range r.Entries(nil) {
+		switch e.Name {
+		case "go.gc_pause_us", "go.sched_latency_us":
+			if e.Kind != KindHistogram {
+				t.Fatalf("%s registered as %v, want histogram", e.Name, e.Kind)
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("runtime histograms registered = %d, want 2", found)
+	}
+	// A second sample must not double-count cumulative histograms: force
+	// growth, sample, and check counts only move forward.
+	before := r.Histogram("go.sched_latency_us").Count()
+	r.SampleRuntime()
+	if after := r.Histogram("go.sched_latency_us").Count(); after < before {
+		t.Fatalf("sched latency count went backwards: %d → %d", before, after)
+	}
+}

@@ -332,3 +332,42 @@ type Canceled struct {
 
 // EventKind implements Event.
 func (Canceled) EventKind() string { return "canceled" }
+
+// AlertFired reports an alert rule (internal/obs/history) transitioning
+// from quiet to firing on one matched series: the observed value crossed
+// the rule's bound on a sampler tick. At most one AlertFired is emitted
+// per (rule, series) until the alert resolves.
+type AlertFired struct {
+	// Rule is the rule name ("tenant-epsilon-burn", "job-queue-depth").
+	Rule string `json:"rule"`
+	// Metric is the matched history series key, including any Prometheus
+	// label set (`ledger.epsilon_committed{tenant="a"}`).
+	Metric string `json:"metric"`
+	// Value is the observed figure that breached: the sample for
+	// threshold rules, the change over the window for delta rules, the
+	// per-second consumption rate for burn-rate rules.
+	Value float64 `json:"value"`
+	// Threshold is the bound Value crossed (for burn-rate rules, the
+	// sustainable rate times the rule's multiplier).
+	Threshold float64 `json:"threshold"`
+	// Profile is the CPU-profile artifact path a triggered capture will
+	// write ("" when profile capture is disabled or busy).
+	Profile string `json:"profile,omitempty"`
+}
+
+// EventKind implements Event.
+func (AlertFired) EventKind() string { return "alert_fired" }
+
+// AlertResolved reports a firing alert's series dropping back within its
+// rule's bound.
+type AlertResolved struct {
+	Rule   string `json:"rule"`
+	Metric string `json:"metric"`
+	// Value is the observed figure at resolution.
+	Value float64 `json:"value"`
+	// After is how long the alert had been firing.
+	After time.Duration `json:"after_ns"`
+}
+
+// EventKind implements Event.
+func (AlertResolved) EventKind() string { return "alert_resolved" }

@@ -203,9 +203,13 @@ func writeSample(b *strings.Builder, name, labels, extra, value string) {
 }
 
 // PromHandler serves the registry in Prometheus text format — mount it
-// at /metrics/prom (the serve layer and the debug server both do).
+// at /metrics/prom (the serve layer and the debug server both do). Each
+// scrape refreshes the Go runtime metrics (go_goroutines, go_heap_bytes,
+// go_gc_pause_us, …) first, so they export without a history sampler
+// running.
 func PromHandler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.SampleRuntime()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w) // client gone; nothing useful to do
 	})

@@ -3,21 +3,70 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// MetricKind discriminates the three metric types a Registry holds.
+type MetricKind uint8
+
+// The metric kinds, in the order Entries sorts equal names (names are
+// unique per kind map, so ties only matter for a name registered as two
+// kinds — both are listed).
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind for diagnostics and JSON.
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Entry is one named metric in the registry's stable iteration order.
+// Exactly one of Counter/Gauge/Histogram is non-nil, per Kind. Handles
+// are live: reading them later sees the current value, so consumers (the
+// history sampler) can cache an Entries snapshot and re-read cheaply.
+type Entry struct {
+	Name      string
+	Kind      MetricKind
+	Counter   *Counter
+	Gauge     *Gauge
+	Histogram *Histogram
+}
 
 // Registry is a named-metric store and an Observer that aggregates the
 // event stream into live counters, gauges, and histograms — the
 // in-memory snapshot a debug endpoint exports while a run is in flight.
 //
 // Metric handles are get-or-create and stable, so hot paths can cache
-// them; Snapshot is cheap enough to serve per scrape.
+// them; Snapshot is cheap enough to serve per scrape. Iteration (Entries,
+// Snapshot) is sorted by name and stable across runs — labeled gauges
+// included — so history series keys and exported JSON are deterministic
+// across restarts, not subject to map order.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	// entries is every metric in sorted-name order, maintained on
+	// creation; version bumps with each insertion so consumers can cache.
+	entries []Entry
+	version atomic.Uint64
+
+	rtOnce sync.Once
+	rt     *runtimeStats
 }
 
 // NewRegistry returns an empty registry.
@@ -29,6 +78,20 @@ func NewRegistry() *Registry {
 	}
 }
 
+// insertLocked adds e to the sorted entry list and bumps the version.
+func (r *Registry) insertLocked(e Entry) {
+	i := sort.Search(len(r.entries), func(i int) bool {
+		if r.entries[i].Name != e.Name {
+			return r.entries[i].Name > e.Name
+		}
+		return r.entries[i].Kind >= e.Kind
+	})
+	r.entries = append(r.entries, Entry{})
+	copy(r.entries[i+1:], r.entries[i:])
+	r.entries[i] = e
+	r.version.Add(1)
+}
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
@@ -37,6 +100,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+		r.insertLocked(Entry{Name: name, Kind: KindCounter, Counter: c})
 	}
 	return c
 }
@@ -49,6 +113,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.insertLocked(Entry{Name: name, Kind: KindGauge, Gauge: g})
 	}
 	return g
 }
@@ -61,8 +126,24 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if !ok {
 		h = &Histogram{}
 		r.hists[name] = h
+		r.insertLocked(Entry{Name: name, Kind: KindHistogram, Histogram: h})
 	}
 	return h
+}
+
+// Version counts metric insertions. A consumer holding an Entries
+// snapshot needs to refresh only when Version has moved — in steady
+// state (no new metric names) the registry's shape is immutable.
+func (r *Registry) Version() uint64 { return r.version.Load() }
+
+// Entries appends every metric to buf[:0] in sorted-name order and
+// returns it. Passing the previous result back avoids allocation once
+// the capacity has grown to fit — the history sampler's zero-alloc tick
+// depends on this.
+func (r *Registry) Entries(buf []Entry) []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append(buf[:0], r.entries...)
 }
 
 // Emit implements Observer: every event updates a standard set of
@@ -124,6 +205,12 @@ func (r *Registry) Emit(e Event) {
 		if ev.Latency > 0 {
 			r.Histogram("cancel." + ev.Phase + ".latency_us").Observe(float64(ev.Latency) / float64(time.Microsecond))
 		}
+	case AlertFired:
+		r.Counter("alert.fired").Inc()
+		r.Gauge("alert.active").Inc()
+	case AlertResolved:
+		r.Counter("alert.resolved").Inc()
+		r.Gauge("alert.active").Dec()
 	case ExtractionDone:
 		r.Counter("sampling.extractions").Inc()
 		r.Counter("sampling.subgraphs").Add(int64(ev.Subgraphs))
@@ -134,19 +221,21 @@ func (r *Registry) Emit(e Event) {
 	}
 }
 
-// Snapshot returns a JSON-serializable view of every metric.
+// Snapshot returns a JSON-serializable view of every metric, built in
+// the registry's sorted iteration order.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
-	for name, c := range r.counters {
-		out[name] = c.Value()
-	}
-	for name, g := range r.gauges {
-		out[name] = g.Value()
-	}
-	for name, h := range r.hists {
-		out[name] = h.Snapshot()
+	out := make(map[string]any, len(r.entries))
+	for _, e := range r.entries {
+		switch e.Kind {
+		case KindCounter:
+			out[e.Name] = e.Counter.Value()
+		case KindGauge:
+			out[e.Name] = e.Gauge.Value()
+		case KindHistogram:
+			out[e.Name] = e.Histogram.Snapshot()
+		}
 	}
 	return out
 }

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// Runtime metric names as they appear in the registry. The Prometheus
+// writer's dot→underscore mapping exports them as go_goroutines,
+// go_heap_bytes, go_gc_cycles, go_gc_pause_us, go_sched_latency_us.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPause    = "/sched/pauses/total/gc:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+)
+
+// runtimeStats adapts runtime/metrics into registry metrics. The sample
+// slice and the Float64Histogram buffers inside it are reused by
+// metrics.Read across calls, and the cumulative→delta bookkeeping uses
+// fixed scratch, so a steady-state sample allocates nothing — the same
+// invariant the history sampler tick holds.
+type runtimeStats struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+
+	goroutines *Gauge
+	heapBytes  *Gauge
+	gcCycles   *Gauge
+	gcPause    *Histogram // microseconds per GC stop-the-world pause
+	schedLat   *Histogram // microseconds a runnable goroutine waited
+
+	prevGCPause  []uint64
+	prevSchedLat []uint64
+	scratch      [NumBuckets]uint64
+}
+
+func newRuntimeStats(r *Registry) *runtimeStats {
+	return &runtimeStats{
+		samples: []metrics.Sample{
+			{Name: rmGoroutines},
+			{Name: rmHeapBytes},
+			{Name: rmGCCycles},
+			{Name: rmGCPause},
+			{Name: rmSchedLat},
+		},
+		goroutines: r.Gauge("go.goroutines"),
+		heapBytes:  r.Gauge("go.heap_bytes"),
+		gcCycles:   r.Gauge("go.gc_cycles"),
+		gcPause:    r.Histogram("go.gc_pause_us"),
+		schedLat:   r.Histogram("go.sched_latency_us"),
+	}
+}
+
+// SampleRuntime reads the Go runtime's own metrics (goroutine count,
+// live heap, GC cycles/pauses, scheduler latency) into the registry, so
+// both the Prometheus endpoint and the history sampler see them next to
+// the application metrics. Callers sample on their own cadence (per
+// scrape, per history tick); concurrent calls from a shared registry's
+// sampler and Prometheus scrapes serialize on an internal mutex.
+func (r *Registry) SampleRuntime() {
+	r.rtOnce.Do(func() { r.rt = newRuntimeStats(r) })
+	r.rt.sample()
+}
+
+func (s *runtimeStats) sample() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	for i := range s.samples {
+		v := &s.samples[i].Value
+		switch s.samples[i].Name {
+		case rmGoroutines:
+			if v.Kind() == metrics.KindUint64 {
+				s.goroutines.Set(float64(v.Uint64()))
+			}
+		case rmHeapBytes:
+			if v.Kind() == metrics.KindUint64 {
+				s.heapBytes.Set(float64(v.Uint64()))
+			}
+		case rmGCCycles:
+			if v.Kind() == metrics.KindUint64 {
+				s.gcCycles.Set(float64(v.Uint64()))
+			}
+		case rmGCPause:
+			if v.Kind() == metrics.KindFloat64Histogram {
+				s.deltaMerge(s.gcPause, v.Float64Histogram(), &s.prevGCPause)
+			}
+		case rmSchedLat:
+			if v.Kind() == metrics.KindFloat64Histogram {
+				s.deltaMerge(s.schedLat, v.Float64Histogram(), &s.prevSchedLat)
+			}
+		}
+	}
+}
+
+// deltaMerge folds the growth of a cumulative runtime histogram since
+// the previous sample into dst, re-bucketing seconds into the package's
+// log-scale microsecond buckets. The first sample merges the whole
+// process-lifetime histogram (prev starts at zero).
+func (s *runtimeStats) deltaMerge(dst *Histogram, h *metrics.Float64Histogram, prev *[]uint64) {
+	if h == nil || len(h.Buckets) != len(h.Counts)+1 {
+		return
+	}
+	if len(*prev) != len(h.Counts) {
+		*prev = make([]uint64, len(h.Counts))
+	}
+	var sum float64
+	changed := false
+	for i, c := range h.Counts {
+		d := c - (*prev)[i]
+		if d == 0 {
+			continue
+		}
+		(*prev)[i] = c
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		var rep float64 // representative seconds for the bucket
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			rep = 0
+		case math.IsInf(lo, -1):
+			rep = hi
+		case math.IsInf(hi, 1):
+			rep = lo
+		default:
+			rep = (lo + hi) / 2
+		}
+		us := rep * 1e6
+		s.scratch[BucketIndex(us)] += d
+		sum += us * float64(d)
+		changed = true
+	}
+	if changed {
+		dst.Merge(s.scratch, sum)
+		for i := range s.scratch {
+			s.scratch[i] = 0
+		}
+	}
+}

@@ -184,6 +184,22 @@ func WriteChromeTrace(journal io.Reader, w io.Writer, traceFilter string) error 
 				Name: "checkpoint_rejected", Cat: "checkpoint", Ph: "i", TS: us, Pid: 1, Tid: 1, S: "g",
 				Args: map[string]any{"reason": e.Reason},
 			})
+		case *AlertFired:
+			if !traceMatch(traceFilter, rec.Trace, "") {
+				continue
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "alert: " + e.Rule, Cat: "alert", Ph: "i", TS: us, Pid: 1, Tid: 1, S: "g",
+				Args: map[string]any{"metric": e.Metric, "value": e.Value, "threshold": e.Threshold, "profile": e.Profile},
+			})
+		case *AlertResolved:
+			if !traceMatch(traceFilter, rec.Trace, "") {
+				continue
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "resolved: " + e.Rule, Cat: "alert", Ph: "i", TS: us, Pid: 1, Tid: 1, S: "g",
+				Args: map[string]any{"metric": e.Metric, "value": e.Value, "after_ms": e.After.Milliseconds()},
+			})
 		}
 	}
 	if err := sc.Err(); err != nil {

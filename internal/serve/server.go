@@ -35,6 +35,7 @@ import (
 
 	"privim/internal/ledger"
 	"privim/internal/obs"
+	"privim/internal/obs/history"
 )
 
 // Options configure a Server. Zero values pick production-reasonable
@@ -91,6 +92,26 @@ type Options struct {
 	// restart recovery. 0 (the default) waits for running jobs until the
 	// Drain context itself expires.
 	DrainGrace time.Duration
+
+	// HistoryEvery is the metric-history sampling tick: every registry
+	// counter/gauge/histogram-quantile plus the Go runtime metrics land in
+	// ring-buffer time series served by GET /v1/stats, and the alert rules
+	// are evaluated on the same tick (default 10s).
+	HistoryEvery time.Duration
+	// HistoryCapacity is the per-series ring capacity (default 360 — an
+	// hour of history at the default tick).
+	HistoryCapacity int
+	// AlertRules are evaluated in addition to the built-in set
+	// (history.DefaultServeRules: per-tenant ε burn-rate when Budget > 0,
+	// job-queue depth, per-route p99 latency, heap growth).
+	AlertRules []history.Rule
+	// ProfileDir, when set, enables triggered diagnostics: a rule firing
+	// captures a pprof CPU+heap profile pair into this directory, bounded
+	// to the newest ProfileKeep pairs, and the alert records the artifact
+	// path.
+	ProfileDir string
+	// ProfileKeep bounds the profile ring (default 8 pairs).
+	ProfileKeep int
 
 	// Registry receives the server's metrics (requests, latency, cache
 	// hit/miss, job counts); nil creates a private one. Sharing the
@@ -150,6 +171,8 @@ type Server struct {
 	jobs      *jobManager
 	budget    *ledger.Ledger // nil when neither Budget nor BudgetLedger is set
 	admission *admission
+	history   *history.Sampler
+	profiles  *history.ProfileRing // nil without Options.ProfileDir
 	mux       *http.ServeMux
 	handler   http.Handler
 	draining  atomic.Bool
@@ -188,7 +211,30 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("serve: opening budget ledger: %w", err)
 		}
 		s.budget = l
+		// Replay emits no events, so seed the per-tenant ε gauges from the
+		// replayed balances — without this, the burn-rate history would
+		// misread the first post-restart commit as the tenant's entire
+		// balance and false-fire.
+		l.PublishPositions()
 	}
+	if opts.ProfileDir != "" {
+		pr, err := history.NewProfileRing(history.ProfileOptions{
+			Dir: opts.ProfileDir, Keep: opts.ProfileKeep, Logf: opts.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: profile ring: %w", err)
+		}
+		s.profiles = pr
+	}
+	s.history = history.New(history.Options{
+		Registry: s.reg,
+		Every:    opts.HistoryEvery,
+		Capacity: opts.HistoryCapacity,
+		Rules:    append(history.DefaultServeRules(opts.Budget, opts.TrainQueue), opts.AlertRules...),
+		Observer: opts.Observer,
+		Profiles: s.profiles,
+	})
+	s.history.Start()
 	// Training events always aggregate into the server registry (so
 	// /metrics covers job telemetry) alongside any caller observer.
 	s.jobs = newJobManager(jobManagerOptions{
@@ -237,8 +283,17 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // owning http.Server's job (Shutdown); call that first, then Drain.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.jobs.Shutdown(ctx)
+	err := s.jobs.Shutdown(ctx)
+	// Stop sampling after the jobs settle so the final commits still land
+	// in history, then let any in-flight profile capture finish writing.
+	s.history.Close()
+	s.profiles.Wait()
+	return err
 }
+
+// History exposes the metric-history sampler — the daemon mounts its
+// stats/alerts views on the debug server too.
+func (s *Server) History() *history.Sampler { return s.history }
 
 // Close is Drain with a 5-second bound, for tests and defer.
 func (s *Server) Close() error {
@@ -284,6 +339,8 @@ func (s *Server) buildRoutes() {
 
 	handle("POST /v1/train", admit(timeout(hf(s.handleTrain))))
 	handle("GET /v1/budget", admit(hf(s.handleBudget)))
+	handle("GET /v1/stats", history.StatsHandler(s.history))
+	handle("GET /v1/alerts", history.AlertsHandler(s.history))
 	handle("GET /v1/jobs", admit(hf(s.handleJobList)))
 	handle("GET /v1/jobs/{id}", admit(hf(s.handleJobGet)))
 	handle("DELETE /v1/jobs/{id}", admit(hf(s.handleJobCancel)))
